@@ -1,0 +1,265 @@
+//! HEVC fractional-position motion compensation (§V-C, Tables III/IV).
+//!
+//! Implements the standard HEVC luma interpolation: the three 8-tap
+//! quarter/half/three-quarter-pel filters of the specification, applied
+//! separably (horizontal pass then vertical pass) over a frame under a
+//! block-wise motion field. Every multiply-accumulate runs through the
+//! [`ArithContext`]; a prediction built with exact arithmetic is the
+//! MSSIM reference.
+
+use crate::{ArithContext, ExactCtx, OpCounts};
+use apx_fixture::image::Image;
+use apx_fixture::motion::MotionField;
+use apx_metrics::mssim;
+
+/// The HEVC luma interpolation filters indexed by fractional phase
+/// (0 = integer, 1 = quarter, 2 = half, 3 = three-quarter).
+/// Coefficients sum to 64 (6-bit normalization).
+pub const LUMA_FILTERS: [[i64; 8]; 4] = [
+    [0, 0, 0, 64, 0, 0, 0, 0],
+    [-1, 4, -10, 58, 17, -5, 1, 0],
+    [-1, 4, -11, 40, 40, -11, 4, -1],
+    [0, 1, -5, 17, 58, -10, 4, -1],
+];
+
+/// Normalization shift after each filter pass.
+const FILTER_SHIFT: u32 = 6;
+
+/// Applies one 8-tap filter to a window of samples through the context:
+/// multiplies by nonzero taps and accumulates (zero taps cost nothing in
+/// hardware and are skipped, matching the integer-phase shortcut of real
+/// decoders).
+fn filter8<C: ArithContext>(samples: &[i64; 8], taps: &[i64; 8], ctx: &mut C) -> i64 {
+    // Operands are pre-scaled so their product occupies the upper half of
+    // the 32-bit range: a fixed-width (16-of-32) multiplier then loses at
+    // most ~2 units of the t·s term. Exact contexts are bit-identical to
+    // the unscaled computation.
+    const TAP_SCALE: u32 = 8; // taps ≤ 64  → ≤ 16384
+    const SAMPLE_SCALE: u32 = 7; // samples ≤ 255·64 intermediate? no: ≤ 255 at pass 1, ≤ ~16320 handled below
+    let mut acc: Option<i64> = None;
+    for (&s, &t) in samples.iter().zip(taps) {
+        if t == 0 {
+            continue;
+        }
+        // saturate the scaled sample into the 16-bit operand range (the
+        // second pass sees first-pass outputs up to ~2^14, so scale down
+        // instead of up for those)
+        let (scaled_s, shift_back) = if s.abs() <= 255 {
+            (s << SAMPLE_SCALE, TAP_SCALE + SAMPLE_SCALE)
+        } else {
+            (s.clamp(-32_767, 32_767), TAP_SCALE)
+        };
+        let p = ctx.mul(t << TAP_SCALE, scaled_s) >> shift_back;
+        acc = Some(match acc {
+            None => p,
+            Some(a) => ctx.add(a, p),
+        });
+    }
+    let acc = acc.unwrap_or(0);
+    // rounding offset then normalize (shifts are wiring, not operators)
+    (acc + (1 << (FILTER_SHIFT - 1))) >> FILTER_SHIFT
+}
+
+/// Result of one motion-compensation run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// The predicted frame.
+    pub predicted: Image,
+    /// Operations executed through the context.
+    pub counts: OpCounts,
+}
+
+/// The paper's HEVC workload: a synthetic frame and a quarter-pel motion
+/// field, with the exact-arithmetic prediction as MSSIM reference.
+#[derive(Debug, Clone)]
+pub struct McFixture {
+    frame: Image,
+    motion: MotionField,
+    reference: Image,
+}
+
+impl McFixture {
+    /// Builds a `size × size` fixture with 16-pixel blocks.
+    ///
+    /// # Panics
+    /// Panics if `size` is not a positive multiple of 16.
+    #[must_use]
+    pub fn synthetic(size: usize, seed: u64) -> Self {
+        assert!(size > 0 && size % 16 == 0, "size must be a multiple of 16");
+        let frame = apx_fixture::image::synthetic_photo(size, size, seed);
+        let motion = apx_fixture::motion::motion_field(size, size, 16, seed.wrapping_add(1));
+        let mut exact = ExactCtx::new();
+        let reference = motion_compensate(&frame, &motion, &mut exact).predicted;
+        McFixture {
+            frame,
+            motion,
+            reference,
+        }
+    }
+
+    /// The source frame.
+    #[must_use]
+    pub fn frame(&self) -> &Image {
+        &self.frame
+    }
+
+    /// Runs motion compensation through `ctx`; returns the result and the
+    /// MSSIM against the exact-arithmetic prediction.
+    pub fn run<C: ArithContext>(&self, ctx: &mut C) -> (McResult, f64) {
+        ctx.reset_counts();
+        let result = motion_compensate(&self.frame, &self.motion, ctx);
+        let score = mssim(
+            self.reference.pixels(),
+            result.predicted.pixels(),
+            self.frame.width(),
+            self.frame.height(),
+        );
+        (result, score)
+    }
+}
+
+/// Predicts a frame by fractional motion compensation: for every pixel,
+/// samples the reference at `(x + dx/4, y + dy/4)` with the separable
+/// 8-tap interpolation (horizontal, then vertical).
+pub fn motion_compensate<C: ArithContext>(
+    frame: &Image,
+    motion: &MotionField,
+    ctx: &mut C,
+) -> McResult {
+    let (width, height) = (frame.width(), frame.height());
+    let mut pixels = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let (dx, dy) = motion.vector_at(x, y);
+            let (ix, fx) = (dx.div_euclid(4) as isize, dx.rem_euclid(4) as usize);
+            let (iy, fy) = (dy.div_euclid(4) as isize, dy.rem_euclid(4) as usize);
+            let bx = x as isize + ix;
+            let by = y as isize + iy;
+            // horizontal pass: 8 rows of intermediate samples
+            let mut inter = [0i64; 8];
+            for (r, out) in inter.iter_mut().enumerate() {
+                let sy = by + r as isize - 3;
+                if fx == 0 {
+                    *out = i64::from(frame.pixel_clamped(bx, sy));
+                } else {
+                    let mut window = [0i64; 8];
+                    for (c, w) in window.iter_mut().enumerate() {
+                        *w = i64::from(frame.pixel_clamped(bx + c as isize - 3, sy));
+                    }
+                    *out = filter8(&window, &LUMA_FILTERS[fx], ctx);
+                }
+            }
+            // vertical pass
+            let value = if fy == 0 {
+                inter[3]
+            } else {
+                filter8(&inter, &LUMA_FILTERS[fy], ctx)
+            };
+            pixels[y * width + x] = value.clamp(0, 255) as u8;
+        }
+    }
+    McResult {
+        predicted: Image::from_pixels(width, height, pixels),
+        counts: ctx.counts(),
+    }
+}
+
+/// Operation counts of one fractionally-interpolated output pixel
+/// (both phases fractional): used by the energy model of `apx-core`
+/// (`16 − #zero-taps` multiplies and the matching adds per 2-pass pixel).
+#[must_use]
+pub fn ops_per_fractional_pixel() -> OpCounts {
+    let mut ctx = ExactCtx::new();
+    let samples = [0i64; 8];
+    // horizontal: 8 intermediate rows with a quarter-pel filter
+    for _ in 0..8 {
+        let _ = filter8(&samples, &LUMA_FILTERS[1], &mut ctx);
+    }
+    // vertical: one half-pel filter
+    let _ = filter8(&samples, &LUMA_FILTERS[2], &mut ctx);
+    ctx.counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_operators::{FaType, OperatorConfig, OperatorCtx};
+
+    #[test]
+    fn filters_are_normalized() {
+        for taps in &LUMA_FILTERS {
+            assert_eq!(taps.iter().sum::<i64>(), 64);
+        }
+    }
+
+    #[test]
+    fn integer_motion_is_a_pure_shift() {
+        let frame = apx_fixture::image::synthetic_photo(32, 32, 9);
+        let motion = MotionField {
+            blocks_x: 2,
+            blocks_y: 2,
+            block_size: 16,
+            vectors: vec![(8, 4); 4], // +2 px right, +1 px down, no fraction
+        };
+        let mut ctx = ExactCtx::new();
+        let result = motion_compensate(&frame, &motion, &mut ctx);
+        assert_eq!(result.counts.muls, 0, "integer phases use no filter");
+        // interior pixels are plain copies
+        assert_eq!(
+            result.predicted.pixel(10, 10),
+            frame.pixel(12, 11),
+        );
+    }
+
+    #[test]
+    fn half_pel_on_constant_area_preserves_value() {
+        let frame = Image::from_pixels(32, 32, vec![77u8; 32 * 32]);
+        let motion = MotionField {
+            blocks_x: 2,
+            blocks_y: 2,
+            block_size: 16,
+            vectors: vec![(2, 2); 4], // half-pel both axes
+        };
+        let mut ctx = ExactCtx::new();
+        let result = motion_compensate(&frame, &motion, &mut ctx);
+        // normalized filters reproduce constants exactly
+        assert!(result.predicted.pixels().iter().all(|&p| p == 77));
+        assert!(result.counts.muls > 0);
+    }
+
+    #[test]
+    fn exact_context_scores_perfect_mssim() {
+        let fixture = McFixture::synthetic(32, 4);
+        let mut ctx = ExactCtx::new();
+        let (_, score) = fixture.run(&mut ctx);
+        assert!((score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sized_adders_track_the_paper_quality_band() {
+        // Table III: ADDt(16,10) reaches MSSIM ≈ 0.99 on the MC filter.
+        let fixture = McFixture::synthetic(64, 4);
+        let mut ctx = OperatorCtx::new(
+            Some(OperatorConfig::AddTrunc { n: 16, q: 10 }.build()),
+            None,
+        );
+        let (_, score) = fixture.run(&mut ctx);
+        assert!(score > 0.9, "ADDt(16,10) MSSIM {score}");
+        // and a brutally approximate adder scores worse
+        let mut harsh = OperatorCtx::new(
+            Some(OperatorConfig::RcaApx { n: 16, m: 1, fa_type: FaType::Three }.build()),
+            None,
+        );
+        let (_, bad) = fixture.run(&mut harsh);
+        assert!(bad < score, "harsh {bad} must be below sized {score}");
+    }
+
+    #[test]
+    fn per_pixel_op_budget_matches_the_energy_model() {
+        let ops = ops_per_fractional_pixel();
+        // quarter-pel filter: 7 nonzero taps -> 7 muls + 6 adds per row;
+        // half-pel: 8 taps -> 8 muls + 7 adds.
+        assert_eq!(ops.muls, 8 * 7 + 8);
+        assert_eq!(ops.adds, 8 * 6 + 7);
+    }
+}

@@ -1,0 +1,216 @@
+//! K-means clustering with approximate distance computation (§V-D,
+//! Tables V/VI).
+//!
+//! Lloyd's algorithm over 2-D 16-bit fixed-point points. Only the
+//! distance computation runs through the [`ArithContext`] — two
+//! subtractions, two squarings (fixed-width: the upper 16 product bits)
+//! and one addition per point/centroid pair, exactly the data-path the
+//! paper characterizes. Centroid updates and comparisons are exact.
+
+use crate::{ArithContext, ExactCtx, OpCounts};
+use apx_fixture::clusters::PointCloud;
+
+/// Scale shift applied after squaring: the fixed-width multiplier keeps
+/// the upper 16 of 32 product bits, so both branches of the comparison
+/// live at the same Q-format.
+const SQUARE_SHIFT: u32 = 16;
+
+/// Squared distance through the context, at the fixed-width product
+/// scale.
+fn distance2<C: ArithContext>(p: [i64; 2], c: [i64; 2], ctx: &mut C) -> i64 {
+    let dx = ctx.sub(p[0], c[0]);
+    let dy = ctx.sub(p[1], c[1]);
+    let dx2 = ctx.mul(dx, dx) >> SQUARE_SHIFT;
+    let dy2 = ctx.mul(dy, dy) >> SQUARE_SHIFT;
+    ctx.add(dx2, dy2)
+}
+
+/// Result of one clustering run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Final assignment per point.
+    pub labels: Vec<usize>,
+    /// Final centroid positions.
+    pub centroids: Vec<[i64; 2]>,
+    /// Fraction of points assigned to their ground-truth cluster.
+    pub success_rate: f64,
+    /// Operations executed through the context (distance computation
+    /// only).
+    pub counts: OpCounts,
+}
+
+/// The paper's K-means workload: Gaussian blobs in 16-bit coordinates
+/// with known ground truth.
+#[derive(Debug, Clone)]
+pub struct KmeansFixture {
+    cloud: PointCloud,
+    iterations: usize,
+}
+
+impl KmeansFixture {
+    /// One paper-style data set: `clusters` Gaussian blobs of
+    /// `points_per_cluster` points (the paper uses 10 blobs, 5·10³ points
+    /// per set, 5 sets — see `apx-core::sweeps` for the 5-set driver).
+    ///
+    /// Coordinates are kept within ±16 000 so that differences fit the
+    /// 16-bit data-path (the "careful data sizing" prerequisite).
+    #[must_use]
+    pub fn synthetic(clusters: usize, points_per_cluster: usize, seed: u64) -> Self {
+        // centers within ±12 000 and spread 1 200 keep every point inside
+        // ±16 000, so all subtractions fit the 16-bit data-path
+        let cloud = apx_fixture::clusters::gaussian_clusters_with_range(
+            clusters,
+            points_per_cluster,
+            900.0,
+            12_000.0,
+            seed,
+        );
+        KmeansFixture {
+            cloud,
+            iterations: 10,
+        }
+    }
+
+    /// The underlying point cloud.
+    #[must_use]
+    pub fn cloud(&self) -> &PointCloud {
+        &self.cloud
+    }
+
+    /// Overrides the Lloyd iteration count (default 10).
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Runs Lloyd's algorithm through `ctx`.
+    ///
+    /// Centroids are seeded from the ground-truth centers perturbed by a
+    /// fixed offset, so the label indices of exact and approximate runs
+    /// are directly comparable (no permutation matching needed) — the
+    /// paper's success rate is the fraction of points landing in their
+    /// true cluster.
+    pub fn run<C: ArithContext>(&self, ctx: &mut C) -> KmeansResult {
+        ctx.reset_counts();
+        let k = self.cloud.centers.len();
+        let mut centroids: Vec<[i64; 2]> = self
+            .cloud
+            .centers
+            .iter()
+            .map(|c| [c[0] + 900, c[1] - 900])
+            .collect();
+        let mut labels = vec![0usize; self.cloud.points.len()];
+        for _ in 0..self.iterations {
+            // assignment step (through ctx)
+            for (point, label) in self.cloud.points.iter().zip(labels.iter_mut()) {
+                let mut best = 0usize;
+                let mut best_d = i64::MAX;
+                for (ci, &centroid) in centroids.iter().enumerate() {
+                    let d = distance2(*point, centroid, ctx);
+                    if d < best_d {
+                        best_d = d;
+                        best = ci;
+                    }
+                }
+                *label = best;
+            }
+            // update step (exact)
+            let mut sums = vec![[0i64; 2]; k];
+            let mut counts = vec![0i64; k];
+            for (point, &label) in self.cloud.points.iter().zip(&labels) {
+                sums[label][0] += point[0];
+                sums[label][1] += point[1];
+                counts[label] += 1;
+            }
+            for ((centroid, sum), &count) in centroids.iter_mut().zip(&sums).zip(&counts) {
+                if count > 0 {
+                    *centroid = [sum[0] / count, sum[1] / count];
+                }
+            }
+        }
+        let correct = labels
+            .iter()
+            .zip(&self.cloud.labels)
+            .filter(|(a, b)| a == b)
+            .count();
+        KmeansResult {
+            success_rate: correct as f64 / labels.len().max(1) as f64,
+            labels,
+            centroids,
+            counts: ctx.counts(),
+        }
+    }
+
+    /// Convenience: the exact-arithmetic baseline run.
+    #[must_use]
+    pub fn run_exact(&self) -> KmeansResult {
+        let mut ctx = ExactCtx::new();
+        self.run(&mut ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_operators::{OperatorConfig, OperatorCtx};
+
+    #[test]
+    fn exact_clustering_recovers_the_ground_truth() {
+        let fixture = KmeansFixture::synthetic(10, 200, 21);
+        let result = fixture.run_exact();
+        assert!(
+            result.success_rate > 0.97,
+            "well-separated blobs: {}",
+            result.success_rate
+        );
+    }
+
+    #[test]
+    fn distance_ops_are_counted_per_pair() {
+        let fixture = KmeansFixture::synthetic(4, 50, 3).with_iterations(2);
+        let result = fixture.run_exact();
+        // per pair: 3 adds (2 subs + 1 add) and 2 muls
+        let pairs = (4 * 50 * 4 * 2) as u64;
+        assert_eq!(result.counts.muls, 2 * pairs);
+        assert_eq!(result.counts.adds, 3 * pairs);
+    }
+
+    #[test]
+    fn moderately_sized_adders_keep_high_success() {
+        // Table V: ADDt(16,11) ≈ 99 %.
+        let fixture = KmeansFixture::synthetic(10, 200, 21);
+        let mut ctx = OperatorCtx::new(
+            Some(OperatorConfig::AddTrunc { n: 16, q: 11 }.build()),
+            None,
+        );
+        let result = fixture.run(&mut ctx);
+        assert!(result.success_rate > 0.9, "got {}", result.success_rate);
+    }
+
+    #[test]
+    fn aggressive_truncation_degrades_success() {
+        let fixture = KmeansFixture::synthetic(10, 200, 21);
+        let run_q = |q: u32| {
+            let mut ctx = OperatorCtx::new(
+                Some(OperatorConfig::AddTrunc { n: 16, q }.build()),
+                None,
+            );
+            fixture.run(&mut ctx).success_rate
+        };
+        let (hi, lo) = (run_q(11), run_q(4));
+        assert!(hi > lo, "q=11 ({hi}) must beat q=4 ({lo})");
+    }
+
+    #[test]
+    fn uncorrected_abm_collapses_clustering() {
+        // Table VI: ABM success ≈ 10 % (vs ≈ 99 % for MULt/AAM).
+        let fixture = KmeansFixture::synthetic(10, 100, 21);
+        let mut good = OperatorCtx::new(None, Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()));
+        let mut bad = OperatorCtx::new(None, Some(OperatorConfig::AbmUncorrected { n: 16 }.build()));
+        let good_rate = fixture.run(&mut good).success_rate;
+        let bad_rate = fixture.run(&mut bad).success_rate;
+        assert!(good_rate > 0.95, "MULt: {good_rate}");
+        assert!(bad_rate < 0.6, "ABMu should collapse: {bad_rate}");
+    }
+}

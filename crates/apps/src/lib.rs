@@ -1,0 +1,30 @@
+//! Application case studies of the paper (§V), written once against
+//! [`ArithContext`] so that exact, carefully-sized fixed-point, and
+//! approximate arithmetic can be swapped in without touching the
+//! algorithms:
+//!
+//! * [`fft`] — 32-point radix-2 fixed-point FFT on 16-bit data (Fig. 5,
+//!   Table II), scored by output PSNR.
+//! * [`jpeg`] — JPEG encoder whose 8×8 DCT runs through the context
+//!   (Fig. 6), scored by MSSIM of the decoded images; includes a real
+//!   entropy-coding back end (zigzag, RLE, canonical Huffman) with a
+//!   lossless round-trip decoder.
+//! * [`hevc`] — HEVC fractional-position motion-compensation filtering
+//!   with the standard 8-tap luma interpolation filters (Tables III/IV),
+//!   scored by MSSIM.
+//! * [`kmeans`] — K-means clustering whose distance computation runs
+//!   through the context (Tables V/VI), scored by classification success
+//!   rate.
+//!
+//! The arithmetic-context machinery itself lives in [`apx_operators`] and
+//! is re-exported here for convenience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod hevc;
+pub mod jpeg;
+pub mod kmeans;
+
+pub use apx_operators::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};

@@ -1,0 +1,44 @@
+//! Substrate throughput: 64-way logic simulation, STA and event-driven
+//! power estimation on the 16×16 multiplier netlist.
+
+use apx_cells::Library;
+use apx_netlist::{power, sta, Sim64};
+use apx_operators::{ApxOperator, OperatorConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let lib = Library::fdsoi28();
+    let nl = OperatorConfig::MulTrunc { n: 16, q: 16 }.build().netlist();
+
+    c.bench_function("sim64_mult16_64vectors", |b| {
+        let mut sim = Sim64::new(&nl);
+        let lanes: Vec<u64> = (0..64).map(|i| (i * 2654435761) & 0xFFFF).collect();
+        b.iter(|| {
+            sim.set_bus_lanes("a", &lanes);
+            sim.set_bus_lanes("b", &lanes);
+            sim.run();
+            black_box(sim.read_bus_lanes("y", 64))
+        })
+    });
+
+    c.bench_function("sta_mult16", |b| {
+        b.iter(|| black_box(sta::analyze(&nl, &lib)))
+    });
+
+    c.bench_function("power_mult16_100vectors", |b| {
+        b.iter(|| {
+            black_box(power::estimate(
+                &nl,
+                &lib,
+                power::PowerSettings {
+                    vectors: 100,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Functional-model throughput of every operator family (the hot path of
+//! error characterization).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use apx_operators::{ApxOperator, FaType, OperatorConfig};
+
+fn bench_eval(c: &mut Criterion) {
+    let ops: Vec<(&str, Box<dyn ApxOperator>)> = vec![
+        ("add_exact_16", OperatorConfig::AddExact { n: 16 }.build()),
+        ("add_trunc_16_10", OperatorConfig::AddTrunc { n: 16, q: 10 }.build()),
+        ("aca_16_4", OperatorConfig::Aca { n: 16, p: 4 }.build()),
+        ("etaiv_16_4", OperatorConfig::EtaIv { n: 16, x: 4 }.build()),
+        ("rcaapx_16_6_3", OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three }.build()),
+        ("mul_trunc_16_16", OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
+        ("aam_16", OperatorConfig::Aam { n: 16 }.build()),
+        ("abm_16", OperatorConfig::Abm { n: 16 }.build()),
+    ];
+    let mut group = c.benchmark_group("eval_u");
+    for (name, op) in &ops {
+        group.bench_function(*name, |b| {
+            let mut x = 0x12345u64;
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = (x >> 16) & 0xFFFF;
+                let bb = (x >> 32) & 0xFFFF;
+                black_box(op.eval_u(a, bb))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_netlist_generation(c: &mut Criterion) {
+    c.bench_function("netlist_gen_mult16", |b| {
+        let op = OperatorConfig::MulTrunc { n: 16, q: 16 }.build();
+        b.iter_batched(|| (), |()| black_box(op.netlist()), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_eval, bench_netlist_generation);
+criterion_main!(benches);

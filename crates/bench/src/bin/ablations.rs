@@ -1,0 +1,86 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. AAM accumulation structure: ripple array (faithful) vs Wallace tree.
+//! 2. ABM sign correction: corrected vs uncorrected pruning.
+//! 3. Compression style on the exact multiplier (netlist substrate).
+//! 4. Technology-node independence: fdsoi28 vs generic45 must agree on
+//!    every qualitative ordering.
+
+use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_netlist::HwAnalyzer;
+use apx_operators::{Aam, ApxOperator, OperatorConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+
+    println!("ABLATION 1: AAM accumulation structure");
+    let analyzer = HwAnalyzer::new(&lib);
+    let array = analyzer.analyze(&Aam::new(16).netlist());
+    let tree = analyzer.analyze(&Aam::new(16).with_tree_compression().netlist());
+    print_table(
+        &["structure", "area_um2", "delay_ns", "power_mW", "PDP_pJ"],
+        &[
+            vec!["ripple array".into(), fmt(array.area_um2, 1), fmt(array.delay_ns, 3), fmt(array.power_mw, 4), fmt(array.pdp_pj, 4)],
+            vec!["wallace tree".into(), fmt(tree.area_um2, 1), fmt(tree.delay_ns, 3), fmt(tree.power_mw, 4), fmt(tree.pdp_pj, 4)],
+        ],
+    );
+
+    println!();
+    println!("ABLATION 2: ABM sign correction");
+    let good = chz.characterize(&OperatorConfig::Abm { n: 16 });
+    let bad = chz.characterize(&OperatorConfig::AbmUncorrected { n: 16 });
+    print_table(
+        &["variant", "MSE_dB", "BER", "area_um2", "PDP_pJ"],
+        &[
+            vec![good.name.clone(), fmt(good.error.mse_db, 2), fmt(good.error.ber, 3), fmt(good.hw.area_um2, 1), fmt(good.hw.pdp_pj, 4)],
+            vec![bad.name.clone(), fmt(bad.error.mse_db, 2), fmt(bad.error.ber, 3), fmt(bad.hw.area_um2, 1), fmt(bad.hw.pdp_pj, 4)],
+        ],
+    );
+
+    println!();
+    println!("ABLATION 3: rounding vs truncation (ADDx(16,10))");
+    let tr = chz.characterize(&OperatorConfig::AddTrunc { n: 16, q: 10 });
+    let ro = chz.characterize(&OperatorConfig::AddRound { n: 16, q: 10 });
+    print_table(
+        &["variant", "MSE_dB", "bias", "area_um2", "PDP_pJ"],
+        &[
+            vec![tr.name.clone(), fmt(tr.error.mse_db, 2), fmt(tr.error.mean_error, 2), fmt(tr.hw.area_um2, 1), fmt(tr.hw.pdp_pj, 4)],
+            vec![ro.name.clone(), fmt(ro.error.mse_db, 2), fmt(ro.error.mean_error, 2), fmt(ro.hw.area_um2, 1), fmt(ro.hw.pdp_pj, 4)],
+        ],
+    );
+
+    println!();
+    println!("ABLATION 4: node independence (ADDt(16,10) vs RCAApx(16,6,3))");
+    // At operator level neither side dominates outright (the paper's own
+    // observation); what must hold on BOTH nodes is the same qualitative
+    // picture: FxP far more accurate, the wire-type RCAApx cheaper, and
+    // the MSE gap orders of magnitude wide.
+    let mut orderings = Vec::new();
+    for lib in [Library::fdsoi28(), Library::generic45()] {
+        let mut chz = characterizer(&lib, &opts);
+        let fxp = chz.characterize(&OperatorConfig::AddTrunc { n: 16, q: 10 });
+        let apx = chz.characterize(&OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: apx_operators::FaType::Three,
+        });
+        let ordering = (
+            fxp.error.mse_db < apx.error.mse_db,
+            fxp.hw.pdp_pj > apx.hw.pdp_pj,
+        );
+        println!(
+            "  {}: FxP MSE {} dB / {} pJ vs RCAApx {} dB / {} pJ",
+            lib.name(),
+            fmt(fxp.error.mse_db, 1),
+            fmt(fxp.hw.pdp_pj, 4),
+            fmt(apx.error.mse_db, 1),
+            fmt(apx.hw.pdp_pj, 4),
+        );
+        orderings.push(ordering);
+    }
+    let consistent = orderings.windows(2).all(|w| w[0] == w[1]);
+    println!("  qualitative orderings identical across nodes: {consistent}");
+}

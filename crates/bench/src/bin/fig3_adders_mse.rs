@@ -1,0 +1,36 @@
+//! Figure 3 — MSE vs power / delay / PDP / area for every 16-bit adder
+//! (fixed-point truncated/rounded vs ACA / ETAIV / RCAApx).
+//!
+//! Expected shape (paper §IV): fixed-point operators dominate on power
+//! and area at equal MSE except at very low accuracy; approximate adders
+//! are faster but cannot reach high accuracy; ACA/RCAApx can undercut
+//! FxP energy slightly at moderate accuracy.
+
+use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::sweeps;
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let mut rows = Vec::new();
+    for config in sweeps::all_adders_16bit() {
+        let r = chz.characterize(&config);
+        rows.push(vec![
+            r.name.clone(),
+            family(&config).to_owned(),
+            fmt(r.error.mse_db, 2),
+            fmt(r.hw.power_mw, 5),
+            fmt(r.hw.delay_ns, 3),
+            fmt(r.hw.pdp_pj * 1e3, 3),
+            fmt(r.hw.area_um2, 1),
+            r.verified.to_string(),
+        ]);
+    }
+    println!("FIG3: 16-bit adders, MSE (dB, full-scale) vs hardware cost");
+    print_table(
+        &["operator", "family", "MSE_dB", "power_mW", "delay_ns", "PDP_fJ", "area_um2", "ok"],
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 4 — BER vs power / delay / PDP / area for the same adders as
+//! Fig. 3.
+//!
+//! Expected shape (paper §IV): on BER the picture flips — approximate
+//! adders beat truncated/rounded fixed point, whose dropped output bits
+//! are forced to zero and flip ~50 % of the time each.
+
+use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::sweeps;
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let mut rows = Vec::new();
+    for config in sweeps::all_adders_16bit() {
+        let r = chz.characterize(&config);
+        rows.push(vec![
+            r.name.clone(),
+            family(&config).to_owned(),
+            fmt(r.error.ber, 4),
+            fmt(r.hw.power_mw, 5),
+            fmt(r.hw.delay_ns, 3),
+            fmt(r.hw.pdp_pj * 1e3, 3),
+            fmt(r.hw.area_um2, 1),
+        ]);
+    }
+    println!("FIG4: 16-bit adders, BER vs hardware cost");
+    print_table(
+        &["operator", "family", "BER", "power_mW", "delay_ns", "PDP_fJ", "area_um2"],
+        &rows,
+    );
+}

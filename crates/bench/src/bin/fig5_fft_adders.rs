@@ -1,0 +1,40 @@
+//! Figure 5 — FFT-32 energy (eq. (1)) vs output PSNR with 16-bit
+//! approximate/sized adders; exact multipliers are sized to the adder
+//! width (the partner-operator rule).
+//!
+//! Expected shape: fixed-point truncation/rounding strictly dominates all
+//! approximate adders — the sized data-path shrinks the (dominant)
+//! multiplier energy.
+
+use apx_apps::fft::FftFixture;
+use apx_apps::OperatorCtx;
+use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::{appenergy, sweeps};
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let fixture = FftFixture::radix2_32(opts.get_u64("seed", 0xF17));
+    let mut rows = Vec::new();
+    for config in sweeps::all_adders_16bit() {
+        let model = appenergy::model_for_adder(&mut chz, &config);
+        let mut ctx = OperatorCtx::new(Some(config.build()), None);
+        let result = fixture.run(&mut ctx);
+        let energy_pj = model.energy_pj(result.counts);
+        rows.push(vec![
+            config.to_string(),
+            family(&config).to_owned(),
+            fmt(result.psnr_db, 2),
+            fmt(energy_pj, 3),
+            fmt(model.adder_pdp_pj * 1e3, 3),
+            fmt(model.mult_pdp_pj * 1e3, 3),
+        ]);
+    }
+    println!("FIG5: FFT-32 PSNR vs total PDP (pJ), partner multipliers sized to the adder");
+    print_table(
+        &["operator", "family", "PSNR_dB", "E_fft_pJ", "E_add_fJ", "E_mul_fJ"],
+        &rows,
+    );
+}

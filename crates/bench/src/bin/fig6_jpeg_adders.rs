@@ -1,0 +1,41 @@
+//! Figure 6 — energy of the DCT in JPEG encoding vs output MSSIM with
+//! 16-bit adders (quality-90 encoding, synthetic photographic image).
+//!
+//! Expected shape: as for the FFT, the fixed-point versions are much more
+//! energy-efficient at equal MSSIM thanks to the bits dropped during
+//! calculation.
+
+use apx_apps::jpeg::JpegFixture;
+use apx_apps::OperatorCtx;
+use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::{appenergy, sweeps};
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let size = opts.get_usize("size", 128);
+    let fixture = JpegFixture::synthetic(size, 90, opts.get_u64("seed", 0x1E7A));
+    let mut rows = Vec::new();
+    for config in sweeps::all_adders_16bit() {
+        let model = appenergy::model_for_adder(&mut chz, &config);
+        let mut ctx = OperatorCtx::new(Some(config.build()), None);
+        let (result, mssim) = fixture.run(&mut ctx);
+        // per-block energy keeps numbers readable
+        let blocks = (size / 8) * (size / 8);
+        let energy_pj = model.energy_pj(result.counts) / blocks as f64;
+        rows.push(vec![
+            config.to_string(),
+            family(&config).to_owned(),
+            fmt(mssim, 4),
+            fmt(energy_pj, 3),
+            result.bytes.len().to_string(),
+        ]);
+    }
+    println!("FIG6: JPEG (q=90, {size}x{size}) MSSIM vs DCT energy per 8x8 block (pJ)");
+    print_table(
+        &["operator", "family", "MSSIM", "E_dct_pJ/blk", "stream_B"],
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Table I — direct comparison of the 16-bit fixed-width multipliers:
+//! MULt(16,16) vs AAM(16) vs ABM(16) (we add ABMu(16), the uncorrected
+//! pruned-Booth instance that matches the catastrophic MSE the paper
+//! reports for its ABM).
+//!
+//! Paper values (28nm FDSOI, 100 MHz):
+//!   MULt(16,16): 0.273 mW, 0.91 ns, 0.249 pJ, 805 µm², −89.1 dB, 23.4 %
+//!   AAM(16):     0.359 mW, 1.23 ns, 0.442 pJ, 665 µm², −87.9 dB, 27.7 %
+//!   ABM(16):     0.446 mW, 0.57 ns, 0.446 pJ, 879 µm², −9.63 dB, 27.9 %
+
+use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::sweeps;
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let mut rows = Vec::new();
+    for config in sweeps::multipliers_16bit() {
+        let r = chz.characterize(&config);
+        rows.push(vec![
+            r.name.clone(),
+            fmt(r.hw.power_mw, 4),
+            fmt(r.hw.delay_ns, 2),
+            fmt(r.hw.pdp_pj, 3),
+            fmt(r.hw.area_um2, 1),
+            fmt(r.error.mse_db, 2),
+            fmt(r.error.ber * 100.0, 1),
+            r.verified.to_string(),
+        ]);
+    }
+    println!("TABLE I: 16-bit fixed-width multipliers");
+    print_table(
+        &["operator", "power_mW", "delay_ns", "PDP_pJ", "area_um2", "MSE_dB", "BER_%", "ok"],
+        &rows,
+    );
+    println!();
+    println!("paper:   MULt 0.273/0.91/0.249/805/-89.1/23.4  AAM 0.359/1.23/0.442/665/-87.9/27.7  ABM 0.446/0.57/0.446/879/-9.63/27.9");
+}

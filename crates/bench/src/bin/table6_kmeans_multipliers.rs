@@ -1,0 +1,56 @@
+//! Table VI — K-means with 16-bit multipliers: MULt(16,16), AAM(16),
+//! ABM variants, and the heavily pruned MULt(16,4) that the paper shows
+//! is equivalent to its ABM's collapse (~10 % success).
+//!
+//! Paper: MULt(16,16) 99.84%/5.15e-1; AAM 99.43%/9.02e-1;
+//! ABM 10.27%/5.27e-1; MULt(16,4) 10.87%/4.09e-1.
+
+use apx_apps::kmeans::KmeansFixture;
+use apx_apps::{OpCounts, OperatorCtx};
+use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_cells::Library;
+use apx_core::appenergy;
+use apx_operators::OperatorConfig;
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    let mut chz = characterizer(&lib, &opts);
+    let sets = opts.get_usize("sets", 5);
+    let pts = opts.get_usize("points", 500);
+    let fixtures: Vec<KmeansFixture> = (0..sets)
+        .map(|s| KmeansFixture::synthetic(10, pts, 100 + s as u64))
+        .collect();
+    let configs = [
+        OperatorConfig::MulTrunc { n: 16, q: 16 },
+        OperatorConfig::Aam { n: 16 },
+        OperatorConfig::Abm { n: 16 },
+        OperatorConfig::AbmUncorrected { n: 16 },
+        OperatorConfig::MulTrunc { n: 16, q: 4 },
+    ];
+    let per_distance = OpCounts { adds: 3, muls: 2 };
+    let mut rows = Vec::new();
+    for config in configs {
+        let model = appenergy::model_for_multiplier(&mut chz, &config);
+        let mut success = 0.0;
+        for fixture in &fixtures {
+            let mut ctx = OperatorCtx::new(None, Some(config.build()));
+            success += fixture.run(&mut ctx).success_rate;
+        }
+        success /= fixtures.len() as f64;
+        rows.push(vec![
+            config.to_string(),
+            fmt(success * 100.0, 2),
+            fmt(model.mult_pdp_pj, 4),
+            fmt(model.adder_pdp_pj, 4),
+            fmt(model.energy_pj(per_distance), 4),
+        ]);
+    }
+    println!("TABLE VI: K-means, 16-bit multipliers (energy per distance computation)");
+    print_table(
+        &["operator", "success_%", "E_mul_pJ", "E_add_pJ", "total_pJ"],
+        &rows,
+    );
+    println!();
+    println!("paper: MULt(16,16) 99.84/5.15e-1  AAM 99.43/9.02e-1  ABM 10.27/5.27e-1  MULt(16,4) 10.87/4.09e-1");
+}

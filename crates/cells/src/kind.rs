@@ -1,0 +1,290 @@
+//! Logic-cell kinds and their boolean functions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The set of standard cells the netlist substrate can instantiate.
+///
+/// Every combinational operator netlist in this workspace is built from
+/// these cells. Each kind carries its boolean function (see
+/// [`CellKind::eval64`]); physical characteristics live in
+/// [`crate::CellSpec`] and depend on the chosen [`crate::Library`].
+///
+/// Input/output conventions:
+/// * [`CellKind::Mux2`] inputs are `[d0, d1, sel]`, output `sel ? d1 : d0`.
+/// * [`CellKind::Aoi21`] inputs `[a, b, c]`, output `!((a & b) | c)`.
+/// * [`CellKind::Oai21`] inputs `[a, b, c]`, output `!((a | b) & c)`.
+/// * [`CellKind::Ha`] inputs `[a, b]`, outputs `(sum, carry)`.
+/// * [`CellKind::Fa`] inputs `[a, b, cin]`, outputs `(sum, cout)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Constant logic 0 (tie-low cell).
+    Tie0,
+    /// Constant logic 1 (tie-high cell).
+    Tie1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer, inputs `[d0, d1, sel]`.
+    Mux2,
+    /// AND-OR-INVERT 2-1 compound gate.
+    Aoi21,
+    /// OR-AND-INVERT 2-1 compound gate.
+    Oai21,
+    /// Half adder, outputs `(sum, carry)`.
+    Ha,
+    /// Full adder (mirror-adder style), outputs `(sum, cout)`.
+    Fa,
+    /// Approximate full adder, IMPACT type 1 (Gupta et al., ISLPED'11
+    /// style): `cout` exact, `sum` wrong for `(a,b,cin) ∈ {011, 100}`.
+    /// Truth table: `sum = (!a & (b | cin)) | (a & b & cin)`.
+    FaX1,
+    /// Approximate full adder, IMPACT type 2: `cout` exact,
+    /// `sum = !cout` (wrong for `(a,b,cin) ∈ {000, 111}`).
+    FaX2,
+}
+
+/// All cell kinds, in declaration order. Useful for library completeness
+/// checks and exhaustive tests.
+pub const ALL_CELL_KINDS: &[CellKind] = &[
+    CellKind::Tie0,
+    CellKind::Tie1,
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And2,
+    CellKind::And3,
+    CellKind::Or2,
+    CellKind::Or3,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Aoi21,
+    CellKind::Oai21,
+    CellKind::Ha,
+    CellKind::Fa,
+    CellKind::FaX1,
+    CellKind::FaX2,
+];
+
+impl CellKind {
+    /// Number of logic inputs of this cell.
+    #[must_use]
+    pub const fn num_inputs(self) -> usize {
+        match self {
+            CellKind::Tie0 | CellKind::Tie1 => 0,
+            CellKind::Buf | CellKind::Inv => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::Ha => 2,
+            CellKind::And3
+            | CellKind::Or3
+            | CellKind::Nand3
+            | CellKind::Nor3
+            | CellKind::Mux2
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::Fa
+            | CellKind::FaX1
+            | CellKind::FaX2 => 3,
+        }
+    }
+
+    /// Number of outputs of this cell (1, or 2 for the adder cells).
+    #[must_use]
+    pub const fn num_outputs(self) -> usize {
+        match self {
+            CellKind::Ha | CellKind::Fa | CellKind::FaX1 | CellKind::FaX2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluate the cell bit-parallel over 64 vectors at once.
+    ///
+    /// Unused input lanes are ignored. Returns `(out0, out1)`; `out1` is
+    /// meaningful only for two-output cells ([`CellKind::Ha`],
+    /// [`CellKind::Fa`]) and is 0 otherwise.
+    ///
+    /// # Example
+    /// ```
+    /// use apx_cells::CellKind;
+    /// let (sum, cout) = CellKind::Fa.eval64([0b1100, 0b1010, 0b1111]);
+    /// assert_eq!(sum & 0xF, 0b1001);
+    /// assert_eq!(cout & 0xF, 0b1110);
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn eval64(self, ins: [u64; 3]) -> (u64, u64) {
+        let [a, b, c] = ins;
+        match self {
+            CellKind::Tie0 => (0, 0),
+            CellKind::Tie1 => (!0, 0),
+            CellKind::Buf => (a, 0),
+            CellKind::Inv => (!a, 0),
+            CellKind::And2 => (a & b, 0),
+            CellKind::And3 => (a & b & c, 0),
+            CellKind::Or2 => (a | b, 0),
+            CellKind::Or3 => (a | b | c, 0),
+            CellKind::Nand2 => (!(a & b), 0),
+            CellKind::Nand3 => (!(a & b & c), 0),
+            CellKind::Nor2 => (!(a | b), 0),
+            CellKind::Nor3 => (!(a | b | c), 0),
+            CellKind::Xor2 => (a ^ b, 0),
+            CellKind::Xnor2 => (!(a ^ b), 0),
+            CellKind::Mux2 => ((a & !c) | (b & c), 0),
+            CellKind::Aoi21 => (!((a & b) | c), 0),
+            CellKind::Oai21 => (!((a | b) & c), 0),
+            CellKind::Ha => (a ^ b, a & b),
+            CellKind::Fa => (a ^ b ^ c, (a & b) | (a & c) | (b & c)),
+            CellKind::FaX1 => {
+                let maj = (a & b) | (a & c) | (b & c);
+                ((!a & (b | c)) | (a & b & c), maj)
+            }
+            CellKind::FaX2 => {
+                let maj = (a & b) | (a & c) | (b & c);
+                (!maj, maj)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::Tie0 => "TIE0",
+            CellKind::Tie1 => "TIE1",
+            CellKind::Buf => "BUF",
+            CellKind::Inv => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::And3 => "AND3",
+            CellKind::Or2 => "OR2",
+            CellKind::Or3 => "OR3",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Ha => "HA",
+            CellKind::Fa => "FA",
+            CellKind::FaX1 => "FAX1",
+            CellKind::FaX2 => "FAX2",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate a single scalar input combination through the 64-way path.
+    fn eval1(kind: CellKind, a: bool, b: bool, c: bool) -> (bool, bool) {
+        let w = |x: bool| if x { !0u64 } else { 0 };
+        let (o0, o1) = kind.eval64([w(a), w(b), w(c)]);
+        (o0 & 1 == 1, o1 & 1 == 1)
+    }
+
+    #[test]
+    fn full_adder_truth_table_is_exact() {
+        for bits in 0u8..8 {
+            let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            let (sum, cout) = eval1(CellKind::Fa, a, b, c);
+            let total = u8::from(a) + u8::from(b) + u8::from(c);
+            assert_eq!(u8::from(sum), total & 1);
+            assert_eq!(u8::from(cout), total >> 1);
+        }
+    }
+
+    #[test]
+    fn half_adder_truth_table_is_exact() {
+        for bits in 0u8..4 {
+            let (a, b) = (bits & 1 != 0, bits & 2 != 0);
+            let (sum, carry) = eval1(CellKind::Ha, a, b, false);
+            let total = u8::from(a) + u8::from(b);
+            assert_eq!(u8::from(sum), total & 1);
+            assert_eq!(u8::from(carry), total >> 1);
+        }
+    }
+
+    #[test]
+    fn mux_selects_d1_when_sel_high() {
+        assert_eq!(eval1(CellKind::Mux2, false, true, true).0, true);
+        assert_eq!(eval1(CellKind::Mux2, false, true, false).0, false);
+        assert_eq!(eval1(CellKind::Mux2, true, false, true).0, false);
+        assert_eq!(eval1(CellKind::Mux2, true, false, false).0, true);
+    }
+
+    #[test]
+    fn compound_gates_match_their_equations() {
+        for bits in 0u8..8 {
+            let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            assert_eq!(eval1(CellKind::Aoi21, a, b, c).0, !((a && b) || c));
+            assert_eq!(eval1(CellKind::Oai21, a, b, c).0, !((a || b) && c));
+        }
+    }
+
+    #[test]
+    fn simple_gates_match_their_equations() {
+        for bits in 0u8..8 {
+            let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            assert_eq!(eval1(CellKind::And2, a, b, c).0, a && b);
+            assert_eq!(eval1(CellKind::Or2, a, b, c).0, a || b);
+            assert_eq!(eval1(CellKind::Nand2, a, b, c).0, !(a && b));
+            assert_eq!(eval1(CellKind::Nor2, a, b, c).0, !(a || b));
+            assert_eq!(eval1(CellKind::Xor2, a, b, c).0, a ^ b);
+            assert_eq!(eval1(CellKind::Xnor2, a, b, c).0, !(a ^ b));
+            assert_eq!(eval1(CellKind::And3, a, b, c).0, a && b && c);
+            assert_eq!(eval1(CellKind::Or3, a, b, c).0, a || b || c);
+            assert_eq!(eval1(CellKind::Nand3, a, b, c).0, !(a && b && c));
+            assert_eq!(eval1(CellKind::Nor3, a, b, c).0, !(a || b || c));
+            assert_eq!(eval1(CellKind::Inv, a, b, c).0, !a);
+            assert_eq!(eval1(CellKind::Buf, a, b, c).0, a);
+        }
+    }
+
+    #[test]
+    fn ties_are_constant() {
+        assert_eq!(CellKind::Tie0.eval64([!0, !0, !0]).0, 0);
+        assert_eq!(CellKind::Tie1.eval64([0, 0, 0]).0, !0);
+    }
+
+    #[test]
+    fn arity_metadata_is_consistent() {
+        for &kind in ALL_CELL_KINDS {
+            assert!(kind.num_inputs() <= 3);
+            assert!(kind.num_outputs() >= 1 && kind.num_outputs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Synthetic standard-cell library model for the APXPERF-RS hardware substrate.
+//!
+//! The original APXPERF flow (Barrois et al., DATE 2017) characterizes
+//! operators with Synopsys Design Compiler on a 28nm FDSOI technology
+//! library, Modelsim gate-level simulation, and PrimeTime power analysis.
+//! None of that proprietary ecosystem is available here, so this crate
+//! provides the substitution: a small, self-consistent standard-cell
+//! library with per-cell **area**, **delay arcs**, **input capacitance**,
+//! **switching energy** and **leakage**, calibrated so that the reference
+//! anchors of the paper (a 16-bit ripple-carry adder and a 16×16 array
+//! multiplier) land in the right absolute neighbourhood, and so that
+//! *relative* comparisons between operator structures — which is what the
+//! paper's conclusions rest on — are driven by real gate counts and logic
+//! depth.
+//!
+//! # Example
+//!
+//! ```
+//! use apx_cells::{CellKind, Library};
+//!
+//! let lib = Library::fdsoi28();
+//! let fa = lib.spec(CellKind::Fa);
+//! assert!(fa.area_um2 > lib.spec(CellKind::Inv).area_um2);
+//! // carry-in to carry-out is the fast arc of a full adder
+//! assert!(fa.delay_ps(2, 1) < fa.delay_ps(0, 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kind;
+mod library;
+mod spec;
+
+pub use kind::{CellKind, ALL_CELL_KINDS};
+pub use library::{Library, OperatingPoint};
+pub use spec::CellSpec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_spec_in_every_preset() {
+        for lib in [Library::fdsoi28(), Library::generic45()] {
+            for &kind in ALL_CELL_KINDS {
+                let spec = lib.spec(kind);
+                assert!(spec.area_um2 >= 0.0, "{kind:?} area");
+                assert!(spec.input_cap_ff >= 0.0, "{kind:?} cap");
+                assert!(spec.energy_fj >= 0.0, "{kind:?} energy");
+                assert!(spec.leakage_nw >= 0.0, "{kind:?} leakage");
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_arc_ordering_matches_a_mirror_adder() {
+        let lib = Library::fdsoi28();
+        let fa = lib.spec(CellKind::Fa);
+        // cin->cout is the ripple-critical arc and must be the fastest input arc
+        // to cout; a->sum is the slowest arc overall.
+        assert!(fa.delay_ps(2, 1) < fa.delay_ps(0, 1));
+        assert!(fa.delay_ps(0, 0) >= fa.delay_ps(2, 1));
+    }
+
+    #[test]
+    fn generic45_is_uniformly_larger_and_slower_than_fdsoi28() {
+        let small = Library::fdsoi28();
+        let big = Library::generic45();
+        for &kind in ALL_CELL_KINDS {
+            if kind == CellKind::Tie0 || kind == CellKind::Tie1 {
+                continue;
+            }
+            assert!(
+                big.spec(kind).area_um2 > small.spec(kind).area_um2,
+                "{kind:?} should be larger in 45nm"
+            );
+        }
+    }
+}

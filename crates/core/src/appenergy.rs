@@ -1,0 +1,163 @@
+//! Application-level energy model — eq. (1) of the paper with
+//! *partner-operator sizing*, the mechanism behind the "hidden cost":
+//!
+//! `E_app = Σ PDP_add + Σ PDP_mul`
+//!
+//! When the adder under test is a carefully sized fixed-point operator
+//! keeping `q` bits, every exact multiplier downstream shrinks to `q×q`
+//! ("the exact multipliers used alongside the modified adders are
+//! optimally sized according to the adder bit-width"). An approximate
+//! adder keeps the full 16-bit interface, so its partner multiplier stays
+//! full width — that overhead is what Tables III–VI expose.
+
+use crate::characterizer::Characterizer;
+use apx_operators::{OpClass, OpCounts, OperatorConfig};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energies (PDP, in pJ) of an adder/multiplier pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppEnergyModel {
+    /// Energy per addition in pJ.
+    pub adder_pdp_pj: f64,
+    /// Energy per multiplication in pJ.
+    pub mult_pdp_pj: f64,
+}
+
+impl AppEnergyModel {
+    /// Total energy of an operation mix, in pJ (eq. (1)).
+    #[must_use]
+    pub fn energy_pj(&self, counts: OpCounts) -> f64 {
+        counts.adds as f64 * self.adder_pdp_pj + counts.muls as f64 * self.mult_pdp_pj
+    }
+}
+
+/// The minimal exact multiplier that partners a given adder
+/// configuration: sized to the adder's live output width for fixed-point
+/// sizing, full width for approximate adders (their interface never
+/// shrinks).
+///
+/// # Panics
+/// Panics if `adder` is not an adder configuration.
+#[must_use]
+pub fn partner_multiplier(adder: &OperatorConfig) -> OperatorConfig {
+    assert_eq!(adder.op_class(), OpClass::Adder, "adder expected");
+    match *adder {
+        OperatorConfig::AddTrunc { q, .. } | OperatorConfig::AddRound { q, .. } => {
+            let n = q.max(2);
+            OperatorConfig::MulTrunc { n, q: n }
+        }
+        OperatorConfig::AddExact { n } => OperatorConfig::MulTrunc { n, q: n },
+        _ => {
+            let n = adder.input_bits();
+            OperatorConfig::MulTrunc { n, q: n }
+        }
+    }
+}
+
+/// The minimal exact adder that partners a given multiplier
+/// configuration: sized to the multiplier's output width.
+///
+/// # Panics
+/// Panics if `mult` is not a multiplier configuration.
+#[must_use]
+pub fn partner_adder(mult: &OperatorConfig) -> OperatorConfig {
+    assert_eq!(mult.op_class(), OpClass::Multiplier, "multiplier expected");
+    let width = match *mult {
+        OperatorConfig::MulTrunc { q, .. } | OperatorConfig::MulRound { q, .. } => q.max(2),
+        _ => mult.input_bits(),
+    };
+    OperatorConfig::AddExact { n: width.min(32) }
+}
+
+/// Builds the energy model for an **adder under test**: the adder's own
+/// PDP plus its sized partner multiplier's PDP (Tables III/V, Figs. 5/6).
+pub fn model_for_adder(chz: &mut Characterizer<'_>, adder: &OperatorConfig) -> AppEnergyModel {
+    let adder_pdp_pj = chz.characterize(adder).hw.pdp_pj;
+    let partner = partner_multiplier(adder);
+    let mult_pdp_pj = chz.characterize(&partner).hw.pdp_pj;
+    AppEnergyModel {
+        adder_pdp_pj,
+        mult_pdp_pj,
+    }
+}
+
+/// Builds the energy model for a **multiplier under test**: the
+/// multiplier's own PDP plus its sized partner adder's PDP
+/// (Tables IV/VI, Table II).
+pub fn model_for_multiplier(
+    chz: &mut Characterizer<'_>,
+    mult: &OperatorConfig,
+) -> AppEnergyModel {
+    let mult_pdp_pj = chz.characterize(mult).hw.pdp_pj;
+    let partner = partner_adder(mult);
+    let adder_pdp_pj = chz.characterize(&partner).hw.pdp_pj;
+    AppEnergyModel {
+        adder_pdp_pj,
+        mult_pdp_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CharacterizerSettings;
+    use apx_cells::Library;
+    use apx_operators::FaType;
+
+    #[test]
+    fn partner_multiplier_shrinks_with_fixed_point_sizing() {
+        let sized = partner_multiplier(&OperatorConfig::AddTrunc { n: 16, q: 10 });
+        assert_eq!(sized, OperatorConfig::MulTrunc { n: 10, q: 10 });
+        let full = partner_multiplier(&OperatorConfig::Aca { n: 16, p: 12 });
+        assert_eq!(full, OperatorConfig::MulTrunc { n: 16, q: 16 });
+    }
+
+    #[test]
+    fn partner_adder_follows_multiplier_output() {
+        assert_eq!(
+            partner_adder(&OperatorConfig::MulTrunc { n: 16, q: 16 }),
+            OperatorConfig::AddExact { n: 16 }
+        );
+        assert_eq!(
+            partner_adder(&OperatorConfig::MulTrunc { n: 16, q: 4 }),
+            OperatorConfig::AddExact { n: 4 }
+        );
+        assert_eq!(
+            partner_adder(&OperatorConfig::Aam { n: 16 }),
+            OperatorConfig::AddExact { n: 16 }
+        );
+    }
+
+    #[test]
+    fn sized_fixed_point_data_path_costs_less() {
+        // The paper's core mechanism: at equal op counts, the truncated
+        // adder's data-path (small partner multiplier) must be several
+        // times cheaper than the approximate adder's (full multiplier).
+        let lib = Library::fdsoi28();
+        let mut chz = Characterizer::new(&lib).with_settings(CharacterizerSettings {
+            error_samples: 1_000,
+            verify_samples: 200,
+            exhaustive_up_to_bits: 12,
+            power_vectors: 300,
+            seed: 5,
+        });
+        let sized = model_for_adder(&mut chz, &OperatorConfig::AddTrunc { n: 16, q: 10 });
+        let approx = model_for_adder(
+            &mut chz,
+            &OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
+        );
+        let counts = OpCounts { adds: 14, muls: 16 }; // one HEVC 2-pass pixel
+        let e_sized = sized.energy_pj(counts);
+        let e_approx = approx.energy_pj(counts);
+        assert!(
+            e_approx > 2.0 * e_sized,
+            "approx {e_approx} pJ should dwarf sized {e_sized} pJ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "adder expected")]
+    fn wrong_class_is_rejected() {
+        let _ = partner_multiplier(&OperatorConfig::Aam { n: 16 });
+    }
+}

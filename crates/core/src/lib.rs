@@ -1,0 +1,55 @@
+//! APXPERF-RS core — the design-exploration framework of the paper
+//! (Fig. 2): given an operator description, produce **both** a functional
+//! error characterization and a hardware characterization under identical
+//! operating conditions, after cross-verifying the two models of the
+//! operator against each other.
+//!
+//! The pipeline mirrors the paper's block diagram:
+//!
+//! ```text
+//!  OperatorConfig ──► netlist ──► RTL "synthesis" (structural) ─► STA / area
+//!        │               │                │
+//!        │               └── gate-level event sim ──► power estimation
+//!        │
+//!        ├──► functional model ──► error-metric extraction (random inputs)
+//!        │
+//!        └──► Verification: netlist ≡ functional model (exhaustive/random)
+//!                     │
+//!                     ▼
+//!                Data fusion ──► OperatorReport (JSON/CSV)
+//! ```
+//!
+//! On top of the per-operator flow, [`sweeps`] enumerates the paper's §IV
+//! parameter grids and [`appenergy`] implements the application-level
+//! energy model of eq. (1), including the *partner-operator sizing* that
+//! produces the paper's headline result (sized fixed-point operators
+//! shrink the whole data-path; approximate operators don't).
+//!
+//! # Example
+//!
+//! ```
+//! use apx_core::{Characterizer, CharacterizerSettings};
+//! use apx_cells::Library;
+//! use apx_operators::OperatorConfig;
+//!
+//! let lib = Library::fdsoi28();
+//! let mut chz = Characterizer::new(&lib).with_settings(CharacterizerSettings {
+//!     error_samples: 20_000,
+//!     ..CharacterizerSettings::default()
+//! });
+//! let report = chz.characterize(&OperatorConfig::Aca { n: 8, p: 2 });
+//! assert!(report.verified);
+//! assert!(report.error.error_rate > 0.0); // approximate
+//! assert!(report.hw.delay_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appenergy;
+mod characterizer;
+mod report;
+pub mod sweeps;
+
+pub use characterizer::{Characterizer, CharacterizerSettings};
+pub use report::{ErrorSummary, OperatorReport, ParetoPoint};

@@ -1,0 +1,136 @@
+//! The §IV parameter sweeps ("all approximate operators … tested with all
+//! possible combinations of parameters") and Pareto utilities.
+
+use crate::report::ParetoPoint;
+use apx_operators::{FaType, OperatorConfig};
+
+pub use crate::report::ParetoPoint as Point;
+
+/// Re-exported Pareto-front extraction (see [`ParetoPoint`]).
+#[must_use]
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    crate::report::pareto_front(points)
+}
+
+/// The 16-bit fixed-point adder family of Figs. 3/4: truncated and
+/// rounded outputs from 15 down to 2 bits.
+#[must_use]
+pub fn fxp_adders_16bit() -> Vec<OperatorConfig> {
+    let mut configs = vec![OperatorConfig::AddExact { n: 16 }];
+    for q in 2..=15 {
+        configs.push(OperatorConfig::AddTrunc { n: 16, q });
+        configs.push(OperatorConfig::AddRound { n: 16, q });
+    }
+    configs
+}
+
+/// The 16-bit approximate adder family of Figs. 3/4: every parameter the
+/// operators accept.
+#[must_use]
+pub fn approximate_adders_16bit() -> Vec<OperatorConfig> {
+    let mut configs = Vec::new();
+    for p in 1..=15 {
+        configs.push(OperatorConfig::Aca { n: 16, p });
+    }
+    for x in [1, 2, 4, 8] {
+        configs.push(OperatorConfig::EtaIv { n: 16, x });
+        configs.push(OperatorConfig::EtaIi { n: 16, x });
+    }
+    for fa_type in [FaType::One, FaType::Two, FaType::Three] {
+        for m in 1..=15 {
+            configs.push(OperatorConfig::RcaApx { n: 16, m, fa_type });
+        }
+    }
+    configs
+}
+
+/// Everything plotted in Figs. 3/4.
+#[must_use]
+pub fn all_adders_16bit() -> Vec<OperatorConfig> {
+    let mut configs = fxp_adders_16bit();
+    configs.extend(approximate_adders_16bit());
+    configs
+}
+
+/// The Table I multiplier set: fixed-width truncated reference plus the
+/// approximate multipliers (the sign-correct ABM and the paper-shape
+/// uncorrected instance).
+#[must_use]
+pub fn multipliers_16bit() -> Vec<OperatorConfig> {
+    vec![
+        OperatorConfig::MulTrunc { n: 16, q: 16 },
+        OperatorConfig::Aam { n: 16 },
+        OperatorConfig::Abm { n: 16 },
+        OperatorConfig::AbmUncorrected { n: 16 },
+    ]
+}
+
+/// The width sweep of §IV ("number of bits varying from 2 to 32") for
+/// exact adders — used by scaling ablations.
+#[must_use]
+pub fn exact_adder_width_sweep() -> Vec<OperatorConfig> {
+    (2..=32).map(|n| OperatorConfig::AddExact { n }).collect()
+}
+
+/// Truncated multiplier width sweep (partner-operator sizing grid for the
+/// application energy model).
+#[must_use]
+pub fn mult_partner_sweep() -> Vec<OperatorConfig> {
+    (2..=16)
+        .map(|n| OperatorConfig::MulTrunc { n, q: n })
+        .collect()
+}
+
+/// The named adder operating points of Tables III and V.
+#[must_use]
+pub fn table_adder_points() -> Vec<OperatorConfig> {
+    vec![
+        OperatorConfig::AddTrunc { n: 16, q: 10 },
+        OperatorConfig::AddTrunc { n: 16, q: 11 },
+        OperatorConfig::AddTrunc { n: 16, q: 8 },
+        OperatorConfig::Aca { n: 16, p: 12 },
+        OperatorConfig::Aca { n: 16, p: 8 },
+        OperatorConfig::EtaIv { n: 16, x: 4 },
+        OperatorConfig::EtaIv { n: 16, x: 2 },
+        OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
+        OperatorConfig::RcaApx { n: 16, m: 10, fa_type: FaType::One },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_sweep_covers_both_families() {
+        let all = all_adders_16bit();
+        assert!(all.len() > 70, "got {}", all.len());
+        let fxp = all.iter().filter(|c| c.is_fixed_point()).count();
+        let approx = all.len() - fxp;
+        assert!(fxp >= 29);
+        assert!(approx >= 60);
+    }
+
+    #[test]
+    fn every_sweep_config_builds() {
+        for config in all_adders_16bit()
+            .into_iter()
+            .chain(multipliers_16bit())
+            .chain(exact_adder_width_sweep())
+            .chain(mult_partner_sweep())
+            .chain(table_adder_points())
+        {
+            let op = config.build();
+            assert!(!op.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sweeps_have_no_duplicates() {
+        let mut all = all_adders_16bit();
+        let before = all.len();
+        all.sort_by_key(|c| format!("{c:?}"));
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+}

@@ -1,0 +1,139 @@
+//! Gaussian point clouds for the K-means experiment (§V-D).
+
+use crate::box_muller;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled 2-D point cloud in 16-bit fixed-point coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointCloud {
+    /// Point coordinates, each within the signed 16-bit range.
+    pub points: Vec<[i64; 2]>,
+    /// Ground-truth cluster index per point.
+    pub labels: Vec<usize>,
+    /// Ground-truth cluster centers.
+    pub centers: Vec<[i64; 2]>,
+}
+
+/// Generates `num_clusters` Gaussian blobs of `points_per_cluster` points
+/// each, in the signed 16-bit coordinate range (the paper runs distance
+/// computation on 16-bit data).
+///
+/// Centers are kept apart by rejection sampling so the ground truth is
+/// meaningful; `spread` is the per-axis standard deviation.
+///
+/// # Example
+/// ```
+/// let cloud = apx_fixture::clusters::gaussian_clusters(10, 500, 1500.0, 42);
+/// assert_eq!(cloud.points.len(), 5000);
+/// assert_eq!(cloud.centers.len(), 10);
+/// assert!(cloud.points.iter().all(|p| p[0].abs() < 32768 && p[1].abs() < 32768));
+/// ```
+///
+/// # Panics
+/// Panics if `num_clusters` is 0 or `spread` is not positive.
+#[must_use]
+pub fn gaussian_clusters(
+    num_clusters: usize,
+    points_per_cluster: usize,
+    spread: f64,
+    seed: u64,
+) -> PointCloud {
+    gaussian_clusters_with_range(num_clusters, points_per_cluster, spread, 24_000.0, seed)
+}
+
+/// [`gaussian_clusters`] with an explicit half-range for the center
+/// positions (useful to leave headroom for downstream fixed-point
+/// subtraction, e.g. ±14 000 keeps all differences within 16 bits).
+///
+/// # Panics
+/// Panics if `num_clusters` is 0, `spread` is not positive, or `range`
+/// exceeds the 16-bit envelope.
+#[must_use]
+pub fn gaussian_clusters_with_range(
+    num_clusters: usize,
+    points_per_cluster: usize,
+    spread: f64,
+    range: f64,
+    seed: u64,
+) -> PointCloud {
+    assert!(num_clusters > 0, "need at least one cluster");
+    assert!(spread > 0.0, "spread must be positive");
+    assert!(range > 0.0 && range <= 32_000.0, "range out of 16-bit envelope");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let min_sep = (4.5 * spread).min(2.0 * range / (num_clusters as f64).sqrt());
+
+    let mut centers: Vec<[f64; 2]> = Vec::with_capacity(num_clusters);
+    let mut attempts = 0;
+    while centers.len() < num_clusters {
+        let c = [
+            (rng.random::<f64>() * 2.0 - 1.0) * range,
+            (rng.random::<f64>() * 2.0 - 1.0) * range,
+        ];
+        attempts += 1;
+        let far_enough = centers.iter().all(|o| {
+            let (dx, dy) = (c[0] - o[0], c[1] - o[1]);
+            (dx * dx + dy * dy).sqrt() > min_sep
+        });
+        if far_enough || attempts > 10_000 {
+            centers.push(c);
+        }
+    }
+
+    let mut points = Vec::with_capacity(num_clusters * points_per_cluster);
+    let mut labels = Vec::with_capacity(num_clusters * points_per_cluster);
+    for (label, center) in centers.iter().enumerate() {
+        for _ in 0..points_per_cluster {
+            let px = center[0] + box_muller(&mut rng) * spread;
+            let py = center[1] + box_muller(&mut rng) * spread;
+            points.push([
+                px.clamp(-32_767.0, 32_767.0) as i64,
+                py.clamp(-32_767.0, 32_767.0) as i64,
+            ]);
+            labels.push(label);
+        }
+    }
+    PointCloud {
+        points,
+        labels,
+        centers: centers
+            .iter()
+            .map(|c| [c[0] as i64, c[1] as i64])
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_correctly_sized() {
+        let a = gaussian_clusters(10, 500, 1500.0, 7);
+        let b = gaussian_clusters(10, 500, 1500.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.points.len(), 5000);
+        assert_eq!(a.labels.len(), 5000);
+    }
+
+    #[test]
+    fn points_cluster_around_their_centers() {
+        let cloud = gaussian_clusters(5, 200, 1000.0, 3);
+        for (point, &label) in cloud.points.iter().zip(&cloud.labels) {
+            let c = cloud.centers[label];
+            let d = (((point[0] - c[0]).pow(2) + (point[1] - c[1]).pow(2)) as f64).sqrt();
+            assert!(d < 8.0 * 1000.0, "point {d} too far from its center");
+        }
+    }
+
+    #[test]
+    fn centers_are_separated() {
+        let cloud = gaussian_clusters(10, 10, 1500.0, 11);
+        for (i, a) in cloud.centers.iter().enumerate() {
+            for b in cloud.centers.iter().skip(i + 1) {
+                let d = (((a[0] - b[0]).pow(2) + (a[1] - b[1]).pow(2)) as f64).sqrt();
+                assert!(d > 1000.0, "centers too close: {d}");
+            }
+        }
+    }
+}

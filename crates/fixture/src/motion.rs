@@ -1,0 +1,106 @@
+//! Quarter-pel motion fields for the HEVC motion-compensation experiment.
+
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A block-wise translational motion field in quarter-pel units.
+///
+/// `vectors[by * blocks_x + bx]` is the `(dx, dy)` motion of block
+/// `(bx, by)`; fractional parts (`dx & 3`, `dy & 3`) select the HEVC
+/// interpolation filter phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MotionField {
+    /// Blocks per row.
+    pub blocks_x: usize,
+    /// Blocks per column.
+    pub blocks_y: usize,
+    /// Block edge in pixels.
+    pub block_size: usize,
+    /// Motion vectors in quarter-pel units.
+    pub vectors: Vec<(i32, i32)>,
+}
+
+impl MotionField {
+    /// Motion vector of the block containing pixel `(x, y)`.
+    #[must_use]
+    pub fn vector_at(&self, x: usize, y: usize) -> (i32, i32) {
+        let bx = (x / self.block_size).min(self.blocks_x - 1);
+        let by = (y / self.block_size).min(self.blocks_y - 1);
+        self.vectors[by * self.blocks_x + bx]
+    }
+}
+
+/// Generates a smooth random motion field over a `width × height` frame:
+/// a global pan plus small per-block jitter, all in quarter-pel units and
+/// guaranteed to include fractional phases (otherwise the interpolation
+/// filters — the thing under test — would never run).
+///
+/// # Example
+/// ```
+/// let mf = apx_fixture::motion::motion_field(64, 64, 16, 3);
+/// assert_eq!(mf.vectors.len(), 16);
+/// assert!(mf.vectors.iter().any(|&(dx, dy)| dx % 4 != 0 || dy % 4 != 0));
+/// ```
+///
+/// # Panics
+/// Panics if `block_size` is 0 or does not divide both dimensions.
+#[must_use]
+pub fn motion_field(width: usize, height: usize, block_size: usize, seed: u64) -> MotionField {
+    assert!(block_size > 0, "block size must be positive");
+    assert!(
+        width % block_size == 0 && height % block_size == 0,
+        "block size must tile the frame"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let blocks_x = width / block_size;
+    let blocks_y = height / block_size;
+    // global pan with a guaranteed fractional phase
+    let pan_x = rng.random_range(-12i32..=12) * 4 + rng.random_range(1i32..=3);
+    let pan_y = rng.random_range(-12i32..=12) * 4 + rng.random_range(1i32..=3);
+    let vectors = (0..blocks_x * blocks_y)
+        .map(|_| {
+            (
+                pan_x + rng.random_range(-6i32..=6),
+                pan_y + rng.random_range(-6i32..=6),
+            )
+        })
+        .collect();
+    MotionField {
+        blocks_x,
+        blocks_y,
+        block_size,
+        vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_deterministic_and_fractional() {
+        let a = motion_field(128, 96, 16, 1);
+        let b = motion_field(128, 96, 16, 1);
+        assert_eq!(a, b);
+        assert!(a
+            .vectors
+            .iter()
+            .any(|&(dx, dy)| dx % 4 != 0 || dy % 4 != 0));
+    }
+
+    #[test]
+    fn vector_lookup_uses_block_grid() {
+        let mf = motion_field(64, 64, 16, 2);
+        assert_eq!(mf.vector_at(0, 0), mf.vectors[0]);
+        assert_eq!(mf.vector_at(17, 0), mf.vectors[1]);
+        assert_eq!(mf.vector_at(0, 17), mf.vectors[mf.blocks_x]);
+        // clamped beyond the last block
+        assert_eq!(mf.vector_at(63, 63), mf.vectors[15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the frame")]
+    fn non_tiling_block_panics() {
+        let _ = motion_field(60, 64, 16, 0);
+    }
+}

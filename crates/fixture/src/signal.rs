@@ -1,0 +1,80 @@
+//! Q15 test signals for the FFT experiment.
+
+use rand::{RngExt, SeedableRng};
+
+/// Uniform random complex signal in Q15 (each component in
+/// `[-amplitude, amplitude]`, `amplitude ≤ 32767`). Returns
+/// `(real, imaginary)`.
+///
+/// # Example
+/// ```
+/// let (re, im) = apx_fixture::signal::random_q15(32, 8192, 5);
+/// assert_eq!(re.len(), 32);
+/// assert!(re.iter().chain(&im).all(|&v| v.abs() <= 8192));
+/// ```
+///
+/// # Panics
+/// Panics if `amplitude` exceeds the Q15 range.
+#[must_use]
+pub fn random_q15(len: usize, amplitude: i64, seed: u64) -> (Vec<i64>, Vec<i64>) {
+    assert!((1..=32_767).contains(&amplitude), "amplitude out of Q15");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut rand::rngs::StdRng| {
+        (0..len)
+            .map(|_| {
+                let u = rng.random::<f64>() * 2.0 - 1.0;
+                (u * amplitude as f64) as i64
+            })
+            .collect()
+    };
+    (draw(&mut rng), draw(&mut rng))
+}
+
+/// A real mix of pure tones quantized to Q15:
+/// `Σ amp·sin(2π·freq·t/len + phase)` for `(freq, amp_q15)` pairs.
+/// Returns `(real, zero imaginary)`.
+///
+/// # Panics
+/// Panics if the summed amplitude exceeds the Q15 range.
+#[must_use]
+pub fn tone_mix_q15(len: usize, tones: &[(f64, i64)]) -> (Vec<i64>, Vec<i64>) {
+    let total: i64 = tones.iter().map(|&(_, a)| a.abs()).sum();
+    assert!(total <= 32_767, "tone mix exceeds Q15 range");
+    let re = (0..len)
+        .map(|t| {
+            tones
+                .iter()
+                .map(|&(freq, amp)| {
+                    let phase = std::f64::consts::TAU * freq * t as f64 / len as f64;
+                    (phase.sin() * amp as f64) as i64
+                })
+                .sum()
+        })
+        .collect();
+    (re, vec![0; len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_signal_is_deterministic() {
+        assert_eq!(random_q15(64, 16000, 9), random_q15(64, 16000, 9));
+    }
+
+    #[test]
+    fn tone_mix_is_bounded_and_periodic() {
+        let (re, im) = tone_mix_q15(32, &[(4.0, 10_000), (9.0, 5_000)]);
+        assert!(re.iter().all(|&v| v.abs() <= 15_000));
+        assert!(im.iter().all(|&v| v == 0));
+        // sin at t=0 is 0 for all tones
+        assert_eq!(re[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds Q15")]
+    fn overdriven_mix_panics() {
+        let _ = tone_mix_q15(8, &[(1.0, 20_000), (2.0, 20_000)]);
+    }
+}

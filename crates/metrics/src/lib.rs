@@ -1,0 +1,42 @@
+//! Error and quality metrics — the measurement half of APXPERF (§III of
+//! the paper).
+//!
+//! * [`ErrorStats`] — the full operator-level metric suite: MSE (and its
+//!   dB normalization), BER and per-position BER, mean error (bias), MAE,
+//!   relative error, min/max error, error rate, a log₂ error-magnitude
+//!   PDF, power-of-two acceptance probabilities (AP vs. MAA), and an error
+//!   capture buffer from which the error PSD is computed.
+//! * [`psnr_db`] — output quality for the FFT experiment (Fig. 5).
+//! * [`mssim`] — Mean Structural Similarity (Wang et al., 2004) for the
+//!   JPEG and HEVC experiments (Fig. 6, Tables III/IV).
+//! * [`spectrum`] — a small f64 radix-2 FFT used for the PSD metric (and
+//!   as the golden reference for the fixed-point FFT application).
+//!
+//! # Example
+//!
+//! ```
+//! use apx_metrics::ErrorStats;
+//! use apx_operators::{AddTrunc, ApxOperator};
+//!
+//! let op = AddTrunc::new(16, 12);
+//! let mut stats = ErrorStats::new(op.ref_bits(), op.fullscale_bits());
+//! for a in (0..1u64 << 16).step_by(257) {
+//!     for b in (0..1u64 << 16).step_by(509) {
+//!         stats.record(op.reference_u(a, b), op.aligned_u(a, b));
+//!     }
+//! }
+//! assert!(stats.mse_db() < -40.0);
+//! assert!(stats.mean_error() > 0.0); // truncation bias
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod mssim;
+mod signal;
+pub mod spectrum;
+
+pub use error::{ErrorStats, PSD_CAPTURE_LEN};
+pub use mssim::{mssim, mssim_with_window, SSIM_C1, SSIM_C2};
+pub use signal::{psnr_db, psnr_db_from_mse, QualityScore};

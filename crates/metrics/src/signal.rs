@@ -1,0 +1,115 @@
+//! Signal-level quality scores: PSNR and the quality-score wrapper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Peak signal-to-noise ratio between a reference and a test signal:
+/// `PSNR = 10·log10(max(x²) / MSE)`, exactly as defined for the FFT
+/// experiment of the paper (Fig. 5).
+///
+/// Returns `f64::INFINITY` for identical signals.
+///
+/// # Example
+/// ```
+/// let reference = [100i64, -200, 300, -50];
+/// assert_eq!(apx_metrics::psnr_db(&reference, &reference), f64::INFINITY);
+/// let noisy = [101i64, -200, 300, -50];
+/// assert!(apx_metrics::psnr_db(&reference, &noisy) > 40.0);
+/// ```
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn psnr_db(reference: &[i64], test: &[i64]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty signals");
+    let mse = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| {
+            let e = (r - t) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / reference.len() as f64;
+    let peak = reference
+        .iter()
+        .map(|&r| (r as f64) * (r as f64))
+        .fold(0.0f64, f64::max);
+    psnr_db_from_mse(peak, mse)
+}
+
+/// PSNR from a precomputed peak power and MSE.
+#[must_use]
+pub fn psnr_db_from_mse(peak_power: f64, mse: f64) -> f64 {
+    if mse <= 0.0 {
+        return f64::INFINITY;
+    }
+    if peak_power <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    10.0 * (peak_power / mse).log10()
+}
+
+/// A tagged application-quality score, so reports can carry the metric
+/// appropriate to each experiment (PSNR for FFT, MSSIM for JPEG/HEVC,
+/// success rate for K-means).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QualityScore {
+    /// Peak signal-to-noise ratio in dB.
+    PsnrDb(f64),
+    /// Mean structural similarity in `[0, 1]`.
+    Mssim(f64),
+    /// Classification success rate in `[0, 1]`.
+    SuccessRate(f64),
+}
+
+impl QualityScore {
+    /// The raw value regardless of the metric kind.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        match *self {
+            QualityScore::PsnrDb(v) | QualityScore::Mssim(v) | QualityScore::SuccessRate(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for QualityScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityScore::PsnrDb(v) => write!(f, "PSNR {v:.2} dB"),
+            QualityScore::Mssim(v) => write!(f, "MSSIM {v:.4}"),
+            QualityScore::SuccessRate(v) => write!(f, "success {:.2}%", v * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psnr_decreases_with_noise_amplitude() {
+        let reference: Vec<i64> = (0..256).map(|t| ((t * 13) % 201) - 100).collect();
+        let small: Vec<i64> = reference.iter().map(|&x| x + 1).collect();
+        let large: Vec<i64> = reference.iter().map(|&x| x + 10).collect();
+        assert!(psnr_db(&reference, &small) > psnr_db(&reference, &large));
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // peak 100^2, constant error 1 -> 10*log10(10000) = 40 dB
+        let reference = [100i64; 64];
+        let test = [99i64; 64];
+        assert!((psnr_db(&reference, &test) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_score_display() {
+        assert_eq!(QualityScore::Mssim(0.9912).to_string(), "MSSIM 0.9912");
+        assert_eq!(
+            QualityScore::SuccessRate(0.8606).to_string(),
+            "success 86.06%"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Netlist intermediate representation.
+
+use apx_cells::CellKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a net (a wire) inside one [`Netlist`].
+///
+/// Nets are dense indices `0..netlist.num_nets()`. The sentinel
+/// [`NetId::INVALID`] marks unused gate pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Sentinel for unused gate pins.
+    pub const INVALID: NetId = NetId(u32::MAX);
+
+    /// Dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this id refers to a real net.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != NetId::INVALID
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One instantiated standard cell.
+///
+/// Unused input/output pins hold [`NetId::INVALID`]. The number of valid
+/// pins always matches [`CellKind::num_inputs`] / [`CellKind::num_outputs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Cell kind instantiated by this gate.
+    pub kind: CellKind,
+    /// Input nets (LSB-pin first; see [`CellKind`] pin conventions).
+    pub ins: [NetId; 3],
+    /// Output nets; `outs[1]` is used only by `Ha`/`Fa`.
+    pub outs: [NetId; 2],
+}
+
+impl Gate {
+    /// Iterator over the valid input nets.
+    pub fn inputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.ins.iter().copied().filter(|n| n.is_valid())
+    }
+
+    /// Iterator over the valid output nets.
+    pub fn outputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.outs.iter().copied().filter(|n| n.is_valid())
+    }
+}
+
+/// A combinational gate-level netlist.
+///
+/// Invariants (maintained by [`crate::NetlistBuilder`]):
+/// * gates are stored in topological order — every gate's inputs are either
+///   primary inputs or outputs of earlier gates;
+/// * every net has exactly one driver (a primary input or one gate output);
+/// * primary output buses may reference any net.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) num_nets: u32,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<(String, Vec<NetId>)>,
+    pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+}
+
+/// Summary counters for a netlist (see [`Netlist::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Number of gate instances.
+    pub num_gates: usize,
+    /// Number of nets (wires), including primary inputs.
+    pub num_nets: usize,
+    /// Number of primary input bits.
+    pub num_input_bits: usize,
+    /// Number of primary output bits.
+    pub num_output_bits: usize,
+    /// Instance count per cell kind.
+    pub cell_histogram: BTreeMap<CellKind, usize>,
+}
+
+impl Netlist {
+    /// Human-readable name of the design.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets as usize
+    }
+
+    /// The gates in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Named primary input buses, LSB first within each bus.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Named primary output buses, LSB first within each bus.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Looks up an input bus by name.
+    #[must_use]
+    pub fn input_bus(&self, name: &str) -> Option<&[NetId]> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, bus)| bus.as_slice())
+    }
+
+    /// Looks up an output bus by name.
+    #[must_use]
+    pub fn output_bus(&self, name: &str) -> Option<&[NetId]> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, bus)| bus.as_slice())
+    }
+
+    /// Summary statistics: gate/net counts and per-cell histogram.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut cell_histogram = BTreeMap::new();
+        for gate in &self.gates {
+            *cell_histogram.entry(gate.kind).or_insert(0) += 1;
+        }
+        NetlistStats {
+            num_gates: self.gates.len(),
+            num_nets: self.num_nets(),
+            num_input_bits: self.inputs.iter().map(|(_, b)| b.len()).sum(),
+            num_output_bits: self.outputs.iter().map(|(_, b)| b.len()).sum(),
+            cell_histogram,
+        }
+    }
+
+    /// Removes gates whose outputs do not (transitively) reach a primary
+    /// output. Returns the number of gates removed.
+    ///
+    /// Operator generators occasionally produce speculative logic whose
+    /// result is discarded (as real synthesis would prune it); calling this
+    /// keeps area/power accounting honest.
+    pub fn prune_dead_gates(&mut self) -> usize {
+        let mut live = vec![false; self.num_nets()];
+        for (_, bus) in &self.outputs {
+            for net in bus {
+                live[net.index()] = true;
+            }
+        }
+        // Walk gates backwards: a gate is live if any output net is live.
+        let mut keep = vec![false; self.gates.len()];
+        for (gi, gate) in self.gates.iter().enumerate().rev() {
+            if gate.outputs().any(|o| live[o.index()]) {
+                keep[gi] = true;
+                for i in gate.inputs() {
+                    live[i.index()] = true;
+                }
+            }
+        }
+        let before = self.gates.len();
+        let mut gi = 0;
+        self.gates.retain(|_| {
+            let k = keep[gi];
+            gi += 1;
+            k
+        });
+        before - self.gates.len()
+    }
+
+    /// Renders the netlist in Graphviz DOT format (for debugging small
+    /// operators).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(s, "  rankdir=LR;");
+        for (name, bus) in &self.inputs {
+            for (i, net) in bus.iter().enumerate() {
+                let _ = writeln!(s, "  {net} [shape=triangle,label=\"{name}[{i}]\"];");
+            }
+        }
+        for (gi, gate) in self.gates.iter().enumerate() {
+            let _ = writeln!(s, "  g{gi} [shape=box,label=\"{}\"];", gate.kind);
+            for input in gate.inputs() {
+                let _ = writeln!(s, "  {input} -> g{gi};");
+            }
+            for output in gate.outputs() {
+                let _ = writeln!(s, "  g{gi} -> {output};");
+            }
+        }
+        for (name, bus) in &self.outputs {
+            for (i, net) in bus.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  out_{name}_{i} [shape=invtriangle,label=\"{name}[{i}]\"];"
+                );
+                let _ = writeln!(s, "  {net} -> out_{name}_{i};");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input_bus("a", 2);
+        let x = b.gate1(CellKind::Xor2, &[a[0], a[1]]);
+        let dead = b.gate1(CellKind::And2, &[a[0], a[1]]);
+        let _ = dead;
+        b.output_bus("y", &[x]);
+        b.finish()
+    }
+
+    #[test]
+    fn stats_count_gates_and_bits() {
+        let nl = tiny();
+        let stats = nl.stats();
+        assert_eq!(stats.num_gates, 2);
+        assert_eq!(stats.num_input_bits, 2);
+        assert_eq!(stats.num_output_bits, 1);
+        assert_eq!(stats.cell_histogram[&CellKind::Xor2], 1);
+    }
+
+    #[test]
+    fn prune_removes_only_dead_logic() {
+        let mut nl = tiny();
+        assert_eq!(nl.prune_dead_gates(), 1);
+        assert_eq!(nl.gates().len(), 1);
+        assert_eq!(nl.gates()[0].kind, CellKind::Xor2);
+        // pruning again is a no-op
+        assert_eq!(nl.prune_dead_gates(), 0);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_gate() {
+        let nl = tiny();
+        let dot = nl.to_dot();
+        assert!(dot.contains("XOR2"));
+        assert!(dot.contains("digraph"));
+    }
+
+    #[test]
+    fn bus_lookup_by_name() {
+        let nl = tiny();
+        assert_eq!(nl.input_bus("a").unwrap().len(), 2);
+        assert_eq!(nl.output_bus("y").unwrap().len(), 1);
+        assert!(nl.input_bus("nope").is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Functional equivalence checking between a netlist and a reference
+//! closure — the "Verification" step of the APXPERF flow, which
+//! cross-checks the hardware (VHDL, here: gate-level) and software (C,
+//! here: Rust functional) models of every operator before fusing their
+//! results.
+
+use crate::ir::Netlist;
+use crate::sim::Sim64;
+use std::error::Error;
+use std::fmt;
+
+/// A mismatch between the netlist and the reference model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyMismatchError {
+    /// Input bus values at the failing vector, in bus declaration order.
+    pub inputs: Vec<(String, u64)>,
+    /// Expected concatenated output value.
+    pub expected: u64,
+    /// Value produced by the netlist.
+    pub got: u64,
+}
+
+impl fmt::Display for VerifyMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist mismatch: inputs {:?} expected {:#x}, got {:#x}",
+            self.inputs, self.expected, self.got
+        )
+    }
+}
+
+impl Error for VerifyMismatchError {}
+
+fn bus_widths(nl: &Netlist) -> Vec<(String, usize)> {
+    nl.inputs()
+        .iter()
+        .map(|(n, b)| (n.clone(), b.len()))
+        .collect()
+}
+
+/// Reads every output bus and concatenates them (first bus in the low
+/// bits) into a single value per lane.
+fn read_concat_outputs(sim: &Sim64<'_>, nl: &Netlist, lanes: usize) -> Vec<u64> {
+    let total: usize = nl.outputs().iter().map(|(_, b)| b.len()).sum();
+    assert!(total <= 64, "concatenated outputs exceed 64 bits");
+    let mut acc = vec![0u64; lanes];
+    let mut shift = 0;
+    for (name, bus) in nl.outputs() {
+        let vals = sim.read_bus_lanes(name, lanes);
+        for (a, v) in acc.iter_mut().zip(vals) {
+            *a |= v << shift;
+        }
+        shift += bus.len();
+    }
+    acc
+}
+
+/// Runs one batch of up to 64 vectors; `operands[i]` is the value of input
+/// bus `i` for each lane.
+fn run_batch(nl: &Netlist, operands: &[Vec<u64>]) -> Vec<u64> {
+    let lanes = operands.first().map_or(0, Vec::len);
+    let mut sim = Sim64::new(nl);
+    for ((name, _), vals) in nl.inputs().iter().zip(operands) {
+        sim.set_bus_lanes(name, vals);
+    }
+    sim.run();
+    read_concat_outputs(&sim, nl, lanes)
+}
+
+fn check_batch(
+    nl: &Netlist,
+    operands: &[Vec<u64>],
+    expected: &[u64],
+) -> Result<(), VerifyMismatchError> {
+    let got = run_batch(nl, operands);
+    for (lane, (&g, &e)) in got.iter().zip(expected).enumerate() {
+        if g != e {
+            return Err(VerifyMismatchError {
+                inputs: nl
+                    .inputs()
+                    .iter()
+                    .zip(operands)
+                    .map(|((n, _), vals)| (n.clone(), vals[lane]))
+                    .collect(),
+                expected: e,
+                got: g,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verifies a netlist whose inputs are viewed as one
+/// concatenated word (first declared bus in the low bits).
+///
+/// # Errors
+/// Returns the first mismatching vector.
+///
+/// # Panics
+/// Panics if the total input width exceeds 24 bits (exhaustive sweep would
+/// be too large — use [`verify_random2`]).
+pub fn verify_exhaustive1(
+    nl: &Netlist,
+    f: impl Fn(u64) -> u64,
+) -> Result<(), VerifyMismatchError> {
+    let widths = bus_widths(nl);
+    let total: usize = widths.iter().map(|(_, w)| w).sum();
+    assert!(total <= 24, "exhaustive verification over {total} bits");
+    let count = 1u64 << total;
+    let mut v = 0u64;
+    while v < count {
+        let lanes = ((count - v).min(64)) as usize;
+        let lane_vals: Vec<u64> = (0..lanes as u64).map(|l| v + l).collect();
+        let mut operands = Vec::with_capacity(widths.len());
+        let mut shift = 0;
+        for (_, w) in &widths {
+            let mask = if *w == 64 { !0u64 } else { (1u64 << w) - 1 };
+            operands.push(lane_vals.iter().map(|x| (x >> shift) & mask).collect());
+            shift += w;
+        }
+        let expected: Vec<u64> = lane_vals.iter().map(|&x| f(x)).collect();
+        check_batch(nl, &operands, &expected)?;
+        v += lanes as u64;
+    }
+    Ok(())
+}
+
+/// Exhaustively verifies a two-operand netlist (buses in declaration
+/// order are `a`, then `b`) against `f(a, b)`.
+///
+/// # Errors
+/// Returns the first mismatching vector.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses, or the
+/// total input width exceeds 24 bits.
+pub fn verify_exhaustive2(
+    nl: &Netlist,
+    f: impl Fn(u64, u64) -> u64,
+) -> Result<(), VerifyMismatchError> {
+    let widths = bus_widths(nl);
+    assert_eq!(widths.len(), 2, "expected exactly two input buses");
+    let wa = widths[0].1;
+    verify_exhaustive1(nl, |v| {
+        let mask_a = if wa == 64 { !0u64 } else { (1u64 << wa) - 1 };
+        f(v & mask_a, v >> wa)
+    })
+}
+
+/// Verifies a two-operand netlist on `samples` uniform random vectors.
+///
+/// # Errors
+/// Returns the first mismatching vector.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses.
+pub fn verify_random2(
+    nl: &Netlist,
+    samples: usize,
+    seed: u64,
+    f: impl Fn(u64, u64) -> u64,
+) -> Result<(), VerifyMismatchError> {
+    use rand::{RngExt, SeedableRng};
+    let widths = bus_widths(nl);
+    assert_eq!(widths.len(), 2, "expected exactly two input buses");
+    let (wa, wb) = (widths[0].1, widths[1].1);
+    let mask = |w: usize| if w == 64 { !0u64 } else { (1u64 << w) - 1 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut done = 0;
+    while done < samples {
+        let lanes = (samples - done).min(64);
+        let av: Vec<u64> = (0..lanes).map(|_| rng.random::<u64>() & mask(wa)).collect();
+        let bv: Vec<u64> = (0..lanes).map(|_| rng.random::<u64>() & mask(wb)).collect();
+        let expected: Vec<u64> = av.iter().zip(&bv).map(|(&a, &b)| f(a, b)).collect();
+        check_batch(nl, &[av, bv], &expected)?;
+        done += lanes;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn adder(width: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("rca");
+        let a = b.input_bus("a", width);
+        let y = b.input_bus("b", width);
+        let zero = b.tie0();
+        let (sum, cout) = b.ripple_adder(&a, &y, zero);
+        b.output_bus("sum", &sum);
+        b.output_bus("cout", &[cout]);
+        b.finish()
+    }
+
+    #[test]
+    fn exhaustive_accepts_correct_reference() {
+        let nl = adder(5);
+        verify_exhaustive2(&nl, |a, b| (a + b) & 0x3F).unwrap();
+    }
+
+    #[test]
+    fn exhaustive_rejects_wrong_reference() {
+        let nl = adder(3);
+        let err = verify_exhaustive2(&nl, |a, b| (a + b + 1) & 0xF).unwrap_err();
+        assert_eq!(err.inputs.len(), 2);
+        // the very first vector (0,0) already mismatches: expected 1, got 0
+        assert_eq!(err.expected, 1);
+        assert_eq!(err.got, 0);
+    }
+
+    #[test]
+    fn random_verification_matches_exhaustive_result() {
+        let nl = adder(16);
+        verify_random2(&nl, 5_000, 7, |a, b| (a + b) & 0x1_FFFF).unwrap();
+    }
+}

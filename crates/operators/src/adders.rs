@@ -1,0 +1,807 @@
+//! Adder operators: exact, carefully sized fixed-point (truncated /
+//! rounded), and the three approximate adders of the paper.
+//!
+//! * [`AddExact`] — plain ripple-carry adder, the accuracy reference.
+//! * [`AddTrunc`] / [`AddRound`] — fixed-point data sizing (§II-A): the
+//!   `n-q` operand LSBs are dropped (truncation) or rounded away and only a
+//!   `q`-bit adder is built. These are the "careful data sizing" side.
+//! * [`Aca`] — Almost Correct Adder (Verma, Brisk, Ienne — DATE'08):
+//!   every sum bit `i` is computed from an accurate addition of the bits
+//!   `i-P..=i` only (speculative carry of length `P`).
+//! * [`EtaIv`] — Error-Tolerant Adder type IV (Zhu, Goh, Wang, Yeo —
+//!   ISOCC'10): the adder is split in `N/X` blocks of `X` bits; each block
+//!   takes a carry-in speculated from the previous **two** blocks.
+//! * [`RcaApx`] — approximate ripple-carry adder (Gupta et al., IMPACT,
+//!   ISLPED'11): the `n-m` LSB positions use approximate full-adder cells
+//!   of a chosen [`FaType`]; the `m` MSBs use accurate full adders.
+
+use crate::traits::{ApxOperator, OpClass};
+use crate::util::{bit, mask_u};
+use apx_cells::CellKind;
+use apx_netlist::{Netlist, NetlistBuilder};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Exact `n`-bit ripple-carry adder with an `n`-bit (wrapping) output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddExact {
+    n: u32,
+}
+
+impl AddExact {
+    /// Creates an exact adder over `n`-bit operands.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        AddExact { n }
+    }
+}
+
+impl ApxOperator for AddExact {
+    fn name(&self) -> String {
+        format!("ADD({},{})", self.n, self.n)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        a.wrapping_add(b) & mask_u(self.n)
+    }
+    fn netlist(&self) -> Netlist {
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", self.n as usize);
+        let bv = b.input_bus("b", self.n as usize);
+        let zero = b.tie0();
+        let (sum, _cout) = b.ripple_adder(&av, &bv, zero);
+        b.output_bus("y", &sum);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Truncated fixed-point adder `ADDt(n, q)`: both operands lose their
+/// `n-q` LSBs before a `q`-bit exact addition.
+///
+/// This is the paper's careful-data-sizing baseline: accuracy falls with
+/// `q`, but so do area, power **and the width of everything downstream**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddTrunc {
+    n: u32,
+    q: u32,
+}
+
+impl AddTrunc {
+    /// Creates `ADDt(n, q)`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32` and `1 <= q <= n`.
+    #[must_use]
+    pub fn new(n: u32, q: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!((1..=n).contains(&q), "q out of range");
+        AddTrunc { n, q }
+    }
+
+    /// Number of output bits kept.
+    #[must_use]
+    pub fn kept_bits(&self) -> u32 {
+        self.q
+    }
+}
+
+impl ApxOperator for AddTrunc {
+    fn name(&self) -> String {
+        format!("ADDt({},{})", self.n, self.q)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.q
+    }
+    fn output_shift(&self) -> u32 {
+        self.n - self.q
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let s = self.n - self.q;
+        ((a >> s).wrapping_add(b >> s)) & mask_u(self.q)
+    }
+    fn netlist(&self) -> Netlist {
+        let s = (self.n - self.q) as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", self.n as usize);
+        let bv = b.input_bus("b", self.n as usize);
+        let zero = b.tie0();
+        let (sum, _cout) = b.ripple_adder(&av[s..], &bv[s..], zero);
+        b.output_bus("y", &sum);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Rounded fixed-point adder `ADDr(n, q)`: each operand is rounded to the
+/// nearest multiple of `2^(n-q)` before the `q`-bit addition
+/// (`(x + 2^(s-1)) >> s == (x >> s) + x_{s-1}`), which removes the
+/// truncation bias at the cost of two extra carry inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddRound {
+    n: u32,
+    q: u32,
+}
+
+impl AddRound {
+    /// Creates `ADDr(n, q)`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32` and `1 <= q < n` (use [`AddExact`] for
+    /// `q == n`, where there is nothing to round).
+    #[must_use]
+    pub fn new(n: u32, q: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!((1..n).contains(&q), "q out of range");
+        AddRound { n, q }
+    }
+}
+
+impl ApxOperator for AddRound {
+    fn name(&self) -> String {
+        format!("ADDr({},{})", self.n, self.q)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.q
+    }
+    fn output_shift(&self) -> u32 {
+        self.n - self.q
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let s = self.n - self.q;
+        let ra = (a >> s).wrapping_add(bit(a, s - 1));
+        let rb = (b >> s).wrapping_add(bit(b, s - 1));
+        ra.wrapping_add(rb) & mask_u(self.q)
+    }
+    fn netlist(&self) -> Netlist {
+        let s = (self.n - self.q) as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", self.n as usize);
+        let bv = b.input_bus("b", self.n as usize);
+        // q-bit adder with cin = a's round bit, then an increment row
+        // folding in b's round bit.
+        let (sum, _cout) = b.ripple_adder(&av[s..], &bv[s..], av[s - 1]);
+        let (rounded, _c2) = b.increment_row(&sum, bv[s - 1]);
+        b.output_bus("y", &rounded);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Almost Correct Adder `ACA(n, p)` — Verma et al., DATE 2008.
+///
+/// Sum bit `i` is produced by an exact addition of the operand bits
+/// `max(0, i-p)..=i` with a zero carry-in: the carry chain is speculated
+/// over at most `p` positions. Errors are rare ("fail rare") but can have
+/// a large amplitude when a long real carry is cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aca {
+    n: u32,
+    p: u32,
+}
+
+impl Aca {
+    /// Creates `ACA(n, p)` with speculative carry length `p`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32` and `1 <= p <= n` (`p == n` degenerates
+    /// to the exact adder).
+    #[must_use]
+    pub fn new(n: u32, p: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!((1..=n).contains(&p), "p out of range");
+        Aca { n, p }
+    }
+}
+
+impl ApxOperator for Aca {
+    fn name(&self) -> String {
+        format!("ACA({},{})", self.n, self.p)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..self.n {
+            let lo = i.saturating_sub(self.p);
+            let w = i - lo + 1;
+            let sa = (a >> lo) & mask_u(w);
+            let sb = (b >> lo) & mask_u(w);
+            out |= ((sa + sb) >> (i - lo) & 1) << i;
+        }
+        out
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let p = self.p as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        // shared propagate/generate per bit position
+        let ps: Vec<_> = (0..n).map(|i| b.xor(av[i], bv[i])).collect();
+        let gs: Vec<_> = (0..n).map(|i| b.and(av[i], bv[i])).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(p);
+            if i == lo {
+                out.push(ps[i]); // no carry window: sum = a ^ b
+                continue;
+            }
+            // speculative carry chain over [lo, i-1], carry-in 0;
+            // each link is one AOI21 + INV: c' = (p & c) | g
+            let mut carry = gs[lo];
+            for j in lo + 1..i {
+                let ninv = b.gate1(CellKind::Aoi21, &[ps[j], carry, gs[j]]);
+                carry = b.not(ninv);
+            }
+            out.push(b.xor(ps[i], carry));
+        }
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Error-Tolerant Adder type IV `ETAIV(n, x)` — Zhu et al., ISOCC 2010.
+///
+/// The operands are split into `n/x` blocks of `x` bits. Block `k`
+/// computes an exact `x`-bit sum whose carry-in is speculated from an
+/// exact addition of the previous **two** blocks (carry-in 0), trading the
+/// full carry chain for a chain of at most `2x` positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtaIv {
+    n: u32,
+    x: u32,
+}
+
+impl EtaIv {
+    /// Creates `ETAIV(n, x)` with block size `x`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32`, `x >= 1` and `x` divides `n`
+    /// (`x == n` degenerates to the exact adder).
+    #[must_use]
+    pub fn new(n: u32, x: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!(x >= 1 && n % x == 0, "x must divide n");
+        EtaIv { n, x }
+    }
+}
+
+impl ApxOperator for EtaIv {
+    fn name(&self) -> String {
+        format!("ETAIV({},{})", self.n, self.x)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let (n, x) = (self.n, self.x);
+        let mut out = 0u64;
+        for k in 0..n / x {
+            let blo = k * x;
+            let cin = if k == 0 {
+                0
+            } else {
+                let lo = blo.saturating_sub(2 * x);
+                let w = blo - lo;
+                let sa = (a >> lo) & mask_u(w);
+                let sb = (b >> lo) & mask_u(w);
+                (sa + sb) >> w & 1
+            };
+            let sa = (a >> blo) & mask_u(x);
+            let sb = (b >> blo) & mask_u(x);
+            out |= ((sa + sb + cin) & mask_u(x)) << blo;
+        }
+        out
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let x = self.x as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let ps: Vec<_> = (0..n).map(|i| b.xor(av[i], bv[i])).collect();
+        let gs: Vec<_> = (0..n).map(|i| b.and(av[i], bv[i])).collect();
+        let zero = b.tie0();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n / x {
+            let blo = k * x;
+            let cin = if k == 0 {
+                zero
+            } else {
+                let lo = blo.saturating_sub(2 * x);
+                let mut carry = gs[lo];
+                for j in lo + 1..blo {
+                    let ninv = b.gate1(CellKind::Aoi21, &[ps[j], carry, gs[j]]);
+                    carry = b.not(ninv);
+                }
+                carry
+            };
+            let (sum, _cout) = b.ripple_adder(&av[blo..blo + x], &bv[blo..blo + x], cin);
+            out.extend(sum);
+        }
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Error-Tolerant Adder type II `ETAII(n, x)` — Zhu et al., ISIC 2009:
+/// the predecessor of [`EtaIv`] cited by the paper. Identical block
+/// structure, but each block's carry-in is speculated from the previous
+/// **one** block only, halving the speculation window (cheaper, less
+/// accurate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EtaIi {
+    n: u32,
+    x: u32,
+}
+
+impl EtaIi {
+    /// Creates `ETAII(n, x)` with block size `x`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32`, `x >= 1` and `x` divides `n`.
+    #[must_use]
+    pub fn new(n: u32, x: u32) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!(x >= 1 && n % x == 0, "x must divide n");
+        EtaIi { n, x }
+    }
+}
+
+impl ApxOperator for EtaIi {
+    fn name(&self) -> String {
+        format!("ETAII({},{})", self.n, self.x)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let (n, x) = (self.n, self.x);
+        let mut out = 0u64;
+        for k in 0..n / x {
+            let blo = k * x;
+            let cin = if k == 0 {
+                0
+            } else {
+                let lo = blo - x;
+                let sa = (a >> lo) & mask_u(x);
+                let sb = (b >> lo) & mask_u(x);
+                (sa + sb) >> x & 1
+            };
+            let sa = (a >> blo) & mask_u(x);
+            let sb = (b >> blo) & mask_u(x);
+            out |= ((sa + sb + cin) & mask_u(x)) << blo;
+        }
+        out
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let x = self.x as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let ps: Vec<_> = (0..n).map(|i| b.xor(av[i], bv[i])).collect();
+        let gs: Vec<_> = (0..n).map(|i| b.and(av[i], bv[i])).collect();
+        let zero = b.tie0();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n / x {
+            let blo = k * x;
+            let cin = if k == 0 {
+                zero
+            } else {
+                let lo = blo - x;
+                let mut carry = gs[lo];
+                for j in lo + 1..blo {
+                    let ninv = b.gate1(CellKind::Aoi21, &[ps[j], carry, gs[j]]);
+                    carry = b.not(ninv);
+                }
+                carry
+            };
+            let (sum, _cout) = b.ripple_adder(&av[blo..blo + x], &bv[blo..blo + x], cin);
+            out.extend(sum);
+        }
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// The three approximate full-adder flavours of `RCAApx`, sorted by
+/// decreasing accuracy as in the paper (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaType {
+    /// IMPACT approximation 1: exact carry, sum wrong on 2 of 8 input rows
+    /// (`011`, `100`).
+    One,
+    /// IMPACT approximation 2: exact carry, `sum = !cout`
+    /// (wrong on `000`, `111`).
+    Two,
+    /// Wire-only cell: `sum = b`, `cout = a`. Zero transistors, worst
+    /// accuracy.
+    Three,
+}
+
+impl FaType {
+    /// Applies the approximate truth table; returns `(sum, cout)` as 0/1.
+    #[inline]
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64, c: u64) -> (u64, u64) {
+        let maj = (a & b) | (a & c) | (b & c);
+        match self {
+            FaType::One => (((1 ^ a) & (b | c)) | (a & b & c), maj),
+            FaType::Two => (1 ^ maj, maj),
+            FaType::Three => (b, a),
+        }
+    }
+}
+
+impl fmt::Display for FaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digit = match self {
+            FaType::One => '1',
+            FaType::Two => '2',
+            FaType::Three => '3',
+        };
+        write!(f, "{digit}")
+    }
+}
+
+/// Approximate ripple-carry adder `RCAApx(n, m, type)` — Gupta et al.,
+/// ISLPED 2011 (IMPACT).
+///
+/// The `n-m` least-significant positions use approximate full-adder cells
+/// of the given [`FaType`]; the top `m` positions are exact full adders
+/// fed by the (approximate) carry of the LSB part. Quantization never
+/// happens — all `n` output bits are produced, which is precisely the
+/// "hidden cost" the paper measures at application level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RcaApx {
+    n: u32,
+    m: u32,
+    fa_type: FaType,
+}
+
+impl RcaApx {
+    /// Creates `RCAApx(n, m, fa_type)` with `m` accurate MSBs.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32` and `m <= n`.
+    #[must_use]
+    pub fn new(n: u32, m: u32, fa_type: FaType) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        assert!(m <= n, "m out of range");
+        RcaApx { n, m, fa_type }
+    }
+}
+
+impl ApxOperator for RcaApx {
+    fn name(&self) -> String {
+        format!("RCAApx({},{},{})", self.n, self.m, self.fa_type)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let na = self.n - self.m; // approximate LSB count
+        let mut c = 0u64;
+        let mut out = 0u64;
+        for i in 0..self.n {
+            let (ai, bi) = (bit(a, i), bit(b, i));
+            if i < na {
+                let (s, cn) = self.fa_type.apply(ai, bi, c);
+                out |= (s & 1) << i;
+                c = cn & 1;
+            } else {
+                let tot = ai + bi + c;
+                out |= (tot & 1) << i;
+                c = tot >> 1;
+            }
+        }
+        out
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let na = (self.n - self.m) as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let mut carry = b.tie0();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..na {
+            match self.fa_type {
+                FaType::One => {
+                    let (s, c) = b.gate2(CellKind::FaX1, &[av[i], bv[i], carry]);
+                    out.push(s);
+                    carry = c;
+                }
+                FaType::Two => {
+                    let (s, c) = b.gate2(CellKind::FaX2, &[av[i], bv[i], carry]);
+                    out.push(s);
+                    carry = c;
+                }
+                FaType::Three => {
+                    // wires only: sum = b, carry = a
+                    out.push(bv[i]);
+                    carry = av[i];
+                }
+            }
+        }
+        for i in na..n {
+            let (s, c) = b.full_adder(av[i], bv[i], carry);
+            out.push(s);
+            carry = c;
+        }
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_netlist::verify::verify_exhaustive2;
+
+    /// Cross-verifies netlist against functional model, exhaustively for
+    /// n ≤ 10.
+    fn cross_verify(op: &dyn ApxOperator) {
+        let nl = op.netlist();
+        verify_exhaustive2(&nl, |a, b| op.eval_u(a, b))
+            .unwrap_or_else(|e| panic!("{}: {e}", op.name()));
+    }
+
+    #[test]
+    fn exact_adder_netlist_matches_model() {
+        for n in [2, 4, 8] {
+            cross_verify(&AddExact::new(n));
+        }
+    }
+
+    #[test]
+    fn trunc_adder_netlist_matches_model() {
+        for (n, q) in [(8, 2), (8, 5), (8, 8), (10, 3)] {
+            cross_verify(&AddTrunc::new(n, q));
+        }
+    }
+
+    #[test]
+    fn round_adder_netlist_matches_model() {
+        for (n, q) in [(8, 2), (8, 5), (8, 7), (10, 6)] {
+            cross_verify(&AddRound::new(n, q));
+        }
+    }
+
+    #[test]
+    fn aca_netlist_matches_model() {
+        for (n, p) in [(8, 1), (8, 2), (8, 4), (8, 7), (10, 3)] {
+            cross_verify(&Aca::new(n, p));
+        }
+    }
+
+    #[test]
+    fn etaiv_netlist_matches_model() {
+        for (n, x) in [(8, 1), (8, 2), (8, 4), (8, 8), (9, 3)] {
+            cross_verify(&EtaIv::new(n, x));
+        }
+    }
+
+    #[test]
+    fn etaii_netlist_matches_model() {
+        for (n, x) in [(8, 1), (8, 2), (8, 4), (8, 8), (9, 3)] {
+            cross_verify(&EtaIi::new(n, x));
+        }
+    }
+
+    #[test]
+    fn etaiv_is_at_least_as_accurate_as_etaii() {
+        // ETAIV's two-block speculation window subsumes ETAII's one-block
+        // window, so its error rate cannot be worse.
+        for x in [1u32, 2, 4] {
+            let ii = EtaIi::new(8, x);
+            let iv = EtaIv::new(8, x);
+            let (mut e2, mut e4) = (0u64, 0u64);
+            for a in 0..256u64 {
+                for b in 0..256u64 {
+                    let r = ii.reference_u(a, b);
+                    e2 += u64::from(ii.eval_u(a, b) != r);
+                    e4 += u64::from(iv.eval_u(a, b) != r);
+                }
+            }
+            assert!(e4 <= e2, "x={x}: ETAIV errors {e4} !<= ETAII errors {e2}");
+        }
+    }
+
+    #[test]
+    fn rcaapx_netlist_matches_model() {
+        for t in [FaType::One, FaType::Two, FaType::Three] {
+            for (n, m) in [(8, 0), (8, 3), (8, 6), (8, 8)] {
+                cross_verify(&RcaApx::new(n, m, t));
+            }
+        }
+    }
+
+    #[test]
+    fn trunc_error_is_bounded_and_positive() {
+        let op = AddTrunc::new(12, 8);
+        let s = 4u32;
+        for (a, b) in [(0u64, 0u64), (0xFFF, 0xFFF), (0xABC, 0x123), (0x00F, 0x0F0)] {
+            let e = crate::centered_diff(op.reference_u(a, b), op.aligned_u(a, b), 12);
+            assert!(e >= 0, "truncation never overshoots");
+            assert!(e <= 2 * ((1 << s) - 1), "bounded by dropped input bits");
+        }
+    }
+
+    #[test]
+    fn round_error_is_smaller_in_magnitude_than_trunc() {
+        // Over the full 8-bit exhaustive space, rounding must have lower MSE.
+        let tr = AddTrunc::new(8, 5);
+        let ro = AddRound::new(8, 5);
+        let (mut se_t, mut se_r) = (0i64, 0i64);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let r = tr.reference_u(a, b);
+                let et = crate::centered_diff(r, tr.aligned_u(a, b), 8);
+                let er = crate::centered_diff(r, ro.aligned_u(a, b), 8);
+                se_t += et * et;
+                se_r += er * er;
+            }
+        }
+        assert!(se_r < se_t, "rounding MSE {se_r} !< truncation MSE {se_t}");
+    }
+
+    #[test]
+    fn aca_with_full_window_is_exact() {
+        let op = Aca::new(8, 8);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(op.eval_u(a, b), op.reference_u(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn etaiv_single_block_is_exact() {
+        let op = EtaIv::new(8, 8);
+        for a in (0..256u64).step_by(3) {
+            for b in (0..256u64).step_by(7) {
+                assert_eq!(op.eval_u(a, b), op.reference_u(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn rcaapx_all_accurate_is_exact() {
+        let op = RcaApx::new(8, 8, FaType::Three);
+        for a in (0..256u64).step_by(5) {
+            for b in (0..256u64).step_by(3) {
+                assert_eq!(op.eval_u(a, b), op.reference_u(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_ordering_of_fa_types() {
+        // Exhaustive over 8-bit operands with m = 4 accurate MSBs: type 1
+        // must err less often than type 3 (ordering per the paper).
+        let count_errors = |t: FaType| {
+            let op = RcaApx::new(8, 4, t);
+            let mut wrong = 0u64;
+            for a in 0..256u64 {
+                for b in 0..256u64 {
+                    if op.eval_u(a, b) != op.reference_u(a, b) {
+                        wrong += 1;
+                    }
+                }
+            }
+            wrong
+        };
+        let (e1, e2, e3) = (
+            count_errors(FaType::One),
+            count_errors(FaType::Two),
+            count_errors(FaType::Three),
+        );
+        // Types 1 and 2 each flip two symmetric truth-table rows (±1), so
+        // under uniform inputs their aggregate error statistics coincide;
+        // type 3 (wire-only) errs far more often. The trade-off that
+        // justifies the type ordering is hardware cost (type 3 is free,
+        // type 2 cheaper than type 1), checked in the netlist test below.
+        assert_eq!(e1, e2, "types 1 and 2 have symmetric error tables");
+        assert!(e1 < e3, "type1 ({e1}) must err less often than type3 ({e3})");
+    }
+
+    #[test]
+    fn aca_speculation_failures_are_rare_but_large() {
+        // "fail rare / fail moderate" classification of §II-B.
+        let op = Aca::new(16, 4);
+        let mut wrong = 0u64;
+        let mut max_abs = 0i64;
+        let mut x = 0x1234_5678_u64;
+        let mut next = || {
+            // xorshift for a cheap deterministic stream
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 0xFFFF
+        };
+        let total = 20_000;
+        for _ in 0..total {
+            let (a, b) = (next(), next());
+            let e = crate::centered_diff(op.reference_u(a, b), op.aligned_u(a, b), 16);
+            if e != 0 {
+                wrong += 1;
+                max_abs = max_abs.max(e.abs());
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.5, "errors should be the minority: {rate}");
+        assert!(rate > 0.001, "but they must exist: {rate}");
+        assert!(max_abs >= 1 << 4, "speculation failures are high-amplitude");
+    }
+
+    #[test]
+    fn paper_notation_names() {
+        assert_eq!(AddTrunc::new(16, 10).name(), "ADDt(16,10)");
+        assert_eq!(Aca::new(16, 12).name(), "ACA(16,12)");
+        assert_eq!(EtaIv::new(16, 4).name(), "ETAIV(16,4)");
+        assert_eq!(RcaApx::new(16, 6, FaType::Three).name(), "RCAApx(16,6,3)");
+    }
+}

@@ -1,0 +1,255 @@
+//! Serializable operator configurations — the sweep currency of the
+//! framework (the paper sweeps "all possible combinations of parameters",
+//! §IV).
+
+use crate::adders::{Aca, AddExact, AddRound, AddTrunc, EtaIi, EtaIv, FaType, RcaApx};
+use crate::mul_array::{Aam, MulExact, MulRound, MulTrunc};
+use crate::mul_booth::{Abm, AbmUncorrected, MulBoothExact};
+use crate::traits::{ApxOperator, OpClass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value-level description of one operator instance.
+///
+/// `OperatorConfig` is what sweeps enumerate, what reports record, and what
+/// [`OperatorConfig::build`] turns into a live [`ApxOperator`].
+///
+/// # Example
+/// ```
+/// use apx_operators::OperatorConfig;
+/// let op = OperatorConfig::Aca { n: 16, p: 4 }.build();
+/// assert_eq!(op.name(), "ACA(16,4)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorConfig {
+    /// Exact `n`-bit adder.
+    AddExact {
+        /// Operand width.
+        n: u32,
+    },
+    /// Truncated fixed-point adder (`q` output bits kept).
+    AddTrunc {
+        /// Operand width.
+        n: u32,
+        /// Kept output bits.
+        q: u32,
+    },
+    /// Rounded fixed-point adder (`q` output bits kept).
+    AddRound {
+        /// Operand width.
+        n: u32,
+        /// Kept output bits.
+        q: u32,
+    },
+    /// Almost Correct Adder with carry speculation length `p`.
+    Aca {
+        /// Operand width.
+        n: u32,
+        /// Carry speculation window.
+        p: u32,
+    },
+    /// Error-Tolerant Adder IV with block size `x`.
+    EtaIv {
+        /// Operand width.
+        n: u32,
+        /// Block size (divides `n`).
+        x: u32,
+    },
+    /// Error-Tolerant Adder II (one-block speculation, ETAIV's
+    /// predecessor).
+    EtaIi {
+        /// Operand width.
+        n: u32,
+        /// Block size (divides `n`).
+        x: u32,
+    },
+    /// IMPACT approximate ripple-carry adder with `m` accurate MSBs.
+    RcaApx {
+        /// Operand width.
+        n: u32,
+        /// Accurate MSB count.
+        m: u32,
+        /// Approximate full-adder flavour.
+        fa_type: FaType,
+    },
+    /// Exact `n×n → 2n` array multiplier.
+    MulExact {
+        /// Operand width.
+        n: u32,
+    },
+    /// Truncated fixed-width multiplier (`q` of `2n` bits kept).
+    MulTrunc {
+        /// Operand width.
+        n: u32,
+        /// Kept output bits.
+        q: u32,
+    },
+    /// Rounded fixed-width multiplier.
+    MulRound {
+        /// Operand width.
+        n: u32,
+        /// Kept output bits.
+        q: u32,
+    },
+    /// Exact radix-4 modified-Booth multiplier.
+    MulBooth {
+        /// Operand width (even).
+        n: u32,
+    },
+    /// Van-style approximate array multiplier (fixed width `n`).
+    Aam {
+        /// Operand width.
+        n: u32,
+    },
+    /// Juang-style pruned Booth multiplier (sign-correct).
+    Abm {
+        /// Operand width (even).
+        n: u32,
+    },
+    /// Pruned Booth multiplier without sign correction (paper-shape ABM).
+    AbmUncorrected {
+        /// Operand width (even).
+        n: u32,
+    },
+}
+
+impl OperatorConfig {
+    /// Instantiates the operator.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range for the operator family
+    /// (see the constructors of the concrete types).
+    #[must_use]
+    pub fn build(&self) -> Box<dyn ApxOperator> {
+        match *self {
+            OperatorConfig::AddExact { n } => Box::new(AddExact::new(n)),
+            OperatorConfig::AddTrunc { n, q } => Box::new(AddTrunc::new(n, q)),
+            OperatorConfig::AddRound { n, q } => Box::new(AddRound::new(n, q)),
+            OperatorConfig::Aca { n, p } => Box::new(Aca::new(n, p)),
+            OperatorConfig::EtaIv { n, x } => Box::new(EtaIv::new(n, x)),
+            OperatorConfig::EtaIi { n, x } => Box::new(EtaIi::new(n, x)),
+            OperatorConfig::RcaApx { n, m, fa_type } => Box::new(RcaApx::new(n, m, fa_type)),
+            OperatorConfig::MulExact { n } => Box::new(MulExact::new(n)),
+            OperatorConfig::MulTrunc { n, q } => Box::new(MulTrunc::new(n, q)),
+            OperatorConfig::MulRound { n, q } => Box::new(MulRound::new(n, q)),
+            OperatorConfig::MulBooth { n } => Box::new(MulBoothExact::new(n)),
+            OperatorConfig::Aam { n } => Box::new(Aam::new(n)),
+            OperatorConfig::Abm { n } => Box::new(Abm::new(n)),
+            OperatorConfig::AbmUncorrected { n } => Box::new(AbmUncorrected::new(n)),
+        }
+    }
+
+    /// Adder or multiplier (without building the operator).
+    #[must_use]
+    pub fn op_class(&self) -> OpClass {
+        match self {
+            OperatorConfig::AddExact { .. }
+            | OperatorConfig::AddTrunc { .. }
+            | OperatorConfig::AddRound { .. }
+            | OperatorConfig::Aca { .. }
+            | OperatorConfig::EtaIv { .. }
+            | OperatorConfig::EtaIi { .. }
+            | OperatorConfig::RcaApx { .. } => OpClass::Adder,
+            _ => OpClass::Multiplier,
+        }
+    }
+
+    /// Whether this is a carefully-sized fixed-point operator (the
+    /// truncation/rounding family) as opposed to a functional
+    /// approximation.
+    #[must_use]
+    pub fn is_fixed_point(&self) -> bool {
+        matches!(
+            self,
+            OperatorConfig::AddExact { .. }
+                | OperatorConfig::AddTrunc { .. }
+                | OperatorConfig::AddRound { .. }
+                | OperatorConfig::MulExact { .. }
+                | OperatorConfig::MulTrunc { .. }
+                | OperatorConfig::MulRound { .. }
+                | OperatorConfig::MulBooth { .. }
+        )
+    }
+
+    /// Operand width `n`.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        match *self {
+            OperatorConfig::AddExact { n }
+            | OperatorConfig::AddTrunc { n, .. }
+            | OperatorConfig::AddRound { n, .. }
+            | OperatorConfig::Aca { n, .. }
+            | OperatorConfig::EtaIv { n, .. }
+            | OperatorConfig::EtaIi { n, .. }
+            | OperatorConfig::RcaApx { n, .. }
+            | OperatorConfig::MulExact { n }
+            | OperatorConfig::MulTrunc { n, .. }
+            | OperatorConfig::MulRound { n, .. }
+            | OperatorConfig::MulBooth { n }
+            | OperatorConfig::Aam { n }
+            | OperatorConfig::Abm { n }
+            | OperatorConfig::AbmUncorrected { n } => n,
+        }
+    }
+}
+
+impl fmt::Display for OperatorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.build().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_roundtrips_names() {
+        let configs = [
+            (OperatorConfig::AddTrunc { n: 16, q: 10 }, "ADDt(16,10)"),
+            (OperatorConfig::Aca { n: 16, p: 12 }, "ACA(16,12)"),
+            (OperatorConfig::EtaIv { n: 16, x: 4 }, "ETAIV(16,4)"),
+            (
+                OperatorConfig::RcaApx {
+                    n: 16,
+                    m: 6,
+                    fa_type: FaType::Three,
+                },
+                "RCAApx(16,6,3)",
+            ),
+            (OperatorConfig::MulTrunc { n: 16, q: 16 }, "MULt(16,16)"),
+            (OperatorConfig::Aam { n: 16 }, "AAM(16)"),
+            (OperatorConfig::Abm { n: 16 }, "ABM(16)"),
+            (OperatorConfig::AbmUncorrected { n: 16 }, "ABMu(16)"),
+        ];
+        for (config, name) in configs {
+            assert_eq!(config.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn class_partitioning_is_consistent_with_built_operator() {
+        let configs = [
+            OperatorConfig::AddExact { n: 8 },
+            OperatorConfig::Aca { n: 8, p: 2 },
+            OperatorConfig::MulExact { n: 8 },
+            OperatorConfig::Abm { n: 8 },
+        ];
+        for config in configs {
+            assert_eq!(config.op_class(), config.build().op_class());
+            assert_eq!(config.input_bits(), config.build().input_bits());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let config = OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: FaType::Two,
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: OperatorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+    }
+}

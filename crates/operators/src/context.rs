@@ -1,0 +1,216 @@
+//! Arithmetic contexts: pluggable add/mul with operation counting.
+//!
+//! Applications (FFT, DCT, HEVC MC, K-means) are written once against
+//! [`ArithContext`]; substituting an [`OperatorCtx`] carrying approximate
+//! or sized fixed-point operators degrades the arithmetic exactly as the
+//! hardware would, while the operation counters feed the application-level
+//! energy model (eq. (1) of the paper).
+
+use crate::traits::{ApxOperator, OpClass};
+use serde::{Deserialize, Serialize};
+
+/// Counters of arithmetic operations executed through a context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Number of additions/subtractions.
+    pub adds: u64,
+    /// Number of multiplications.
+    pub muls: u64,
+}
+
+impl OpCounts {
+    /// Sum of both counters.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.adds + self.muls
+    }
+}
+
+/// Abstract integer arithmetic with operation counting.
+///
+/// Values are plain `i64`; implementations may quantize or corrupt results
+/// exactly as their hardware counterpart would. Subtraction is provided as
+/// negated addition (hardware cost of an adder).
+pub trait ArithContext {
+    /// `a + b` through the context's adder.
+    fn add(&mut self, a: i64, b: i64) -> i64;
+
+    /// `a * b` through the context's multiplier.
+    fn mul(&mut self, a: i64, b: i64) -> i64;
+
+    /// `a - b`, counted as one addition.
+    fn sub(&mut self, a: i64, b: i64) -> i64 {
+        self.add(a, -b)
+    }
+
+    /// Operations executed so far.
+    fn counts(&self) -> OpCounts;
+
+    /// Resets the operation counters.
+    fn reset_counts(&mut self);
+}
+
+/// Ideal (infinite-precision `i64`) arithmetic with counting — the golden
+/// reference for application quality metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactCtx {
+    counts: OpCounts,
+}
+
+impl ExactCtx {
+    /// Creates an exact context.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactCtx::default()
+    }
+}
+
+impl ArithContext for ExactCtx {
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        a.wrapping_add(b)
+    }
+    fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.muls += 1;
+        a.wrapping_mul(b)
+    }
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+/// Exact arithmetic that only counts (alias of [`ExactCtx`] kept for
+/// call-site clarity when the caller never reads the values).
+pub type CountingCtx = ExactCtx;
+
+/// Arithmetic context executing through [`ApxOperator`] models.
+///
+/// Either operator may be absent, in which case that operation is exact.
+/// The adder is applied at its operand width (`n` bits, wrapping) and its
+/// aligned output is sign-extended back; the multiplier likewise at
+/// `n×n → 2n`.
+///
+/// # Example
+/// ```
+/// use apx_operators::{ArithContext, OperatorCtx, OperatorConfig};
+/// let mut ctx = OperatorCtx::new(
+///     Some(OperatorConfig::AddTrunc { n: 16, q: 8 }.build()),
+///     None,
+/// );
+/// // low bits quantized away by the 8-bit adder
+/// assert_eq!(ctx.add(0x0101, 0x0101), 0x0200);
+/// assert_eq!(ctx.counts().adds, 1);
+/// ```
+pub struct OperatorCtx {
+    adder: Option<Box<dyn ApxOperator>>,
+    multiplier: Option<Box<dyn ApxOperator>>,
+    counts: OpCounts,
+}
+
+impl OperatorCtx {
+    /// Creates a context from optional adder and multiplier models.
+    ///
+    /// # Panics
+    /// Panics if an operator of the wrong class is supplied.
+    #[must_use]
+    pub fn new(
+        adder: Option<Box<dyn ApxOperator>>,
+        multiplier: Option<Box<dyn ApxOperator>>,
+    ) -> Self {
+        if let Some(op) = &adder {
+            assert_eq!(op.op_class(), OpClass::Adder, "adder slot needs an adder");
+        }
+        if let Some(op) = &multiplier {
+            assert_eq!(
+                op.op_class(),
+                OpClass::Multiplier,
+                "multiplier slot needs a multiplier"
+            );
+        }
+        OperatorCtx {
+            adder,
+            multiplier,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The adder model, if any.
+    #[must_use]
+    pub fn adder(&self) -> Option<&dyn ApxOperator> {
+        self.adder.as_deref()
+    }
+
+    /// The multiplier model, if any.
+    #[must_use]
+    pub fn multiplier(&self) -> Option<&dyn ApxOperator> {
+        self.multiplier.as_deref()
+    }
+}
+
+impl ArithContext for OperatorCtx {
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        match &self.adder {
+            Some(op) => op.eval_signed(a, b),
+            None => a.wrapping_add(b),
+        }
+    }
+    fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.counts.muls += 1;
+        match &self.multiplier {
+            Some(op) => op.eval_signed(a, b),
+            None => a.wrapping_mul(b),
+        }
+    }
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperatorConfig;
+
+    #[test]
+    fn exact_ctx_counts_and_computes() {
+        let mut ctx = ExactCtx::new();
+        assert_eq!(ctx.add(2, 3), 5);
+        assert_eq!(ctx.mul(4, -5), -20);
+        assert_eq!(ctx.sub(10, 3), 7);
+        assert_eq!(ctx.counts(), OpCounts { adds: 2, muls: 1 });
+        ctx.reset_counts();
+        assert_eq!(ctx.counts().total(), 0);
+    }
+
+    #[test]
+    fn operator_ctx_with_exact_models_matches_exact_ctx() {
+        let mut ctx = OperatorCtx::new(
+            Some(OperatorConfig::AddExact { n: 16 }.build()),
+            Some(OperatorConfig::MulExact { n: 16 }.build()),
+        );
+        // stay within 16-bit operand range
+        assert_eq!(ctx.add(1000, -250), 750);
+        assert_eq!(ctx.mul(-123, 45), -123 * 45);
+    }
+
+    #[test]
+    fn truncated_multiplier_quantizes_products() {
+        let mut ctx = OperatorCtx::new(None, Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()));
+        let p = ctx.mul(0x1234, 0x0321);
+        let exact = 0x1234i64 * 0x0321;
+        assert_eq!(p, exact & !0xFFFF, "low 16 product bits truncated");
+    }
+
+    #[test]
+    #[should_panic(expected = "adder slot needs an adder")]
+    fn wrong_class_is_rejected() {
+        let _ = OperatorCtx::new(Some(OperatorConfig::MulExact { n: 8 }.build()), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Functional and hardware models of every operator compared in the paper.
+//!
+//! Two families are implemented, mirroring §II of Barrois et al. (DATE 2017):
+//!
+//! * **Fixed-point (FxP) operators** — accurate adders/multipliers whose
+//!   data bit-width is *carefully sized*: [`AddExact`], [`AddTrunc`],
+//!   [`AddRound`], [`MulExact`], [`MulTrunc`], [`MulRound`],
+//!   [`MulBoothExact`]. Their only error source is quantization
+//!   (truncation/rounding of dropped LSBs).
+//! * **Approximate operators** — structurally simplified hardware:
+//!   the adders [`Aca`] (Almost Correct Adder, Verma et al.), [`EtaIv`]
+//!   (Error-Tolerant Adder IV, Zhu et al.), [`RcaApx`] (approximate
+//!   ripple-carry adder with IMPACT-style approximate full-adder cells,
+//!   Gupta et al.), and the multipliers [`Aam`] (fixed-width array
+//!   multiplier with diagonal compensation, Van et al.) and [`Abm`]
+//!   (pruned modified-Booth multiplier, Juang & Hsiao; plus the
+//!   [`AbmUncorrected`] variant reproducing the catastrophic instance
+//!   measured in the paper).
+//!
+//! Every operator exposes **both** a bit-accurate functional model
+//! ([`ApxOperator::eval_u`]) and a structural gate-level netlist
+//! ([`ApxOperator::netlist`]); the two are cross-verified by the
+//! framework, exactly like the C vs. VHDL equivalence check of APXPERF.
+//!
+//! # Conventions
+//!
+//! Operands are `n`-bit two's-complement values carried in the low bits of
+//! `u64`. Adders are bit-level sign-agnostic (mod-2ⁿ); multipliers are
+//! signed (Baugh-Wooley / modified-Booth). The raw operator output is
+//! [`ApxOperator::output_bits`] wide and must be left-shifted by
+//! [`ApxOperator::output_shift`] to sit at the scale of the exact
+//! reference, which is [`ApxOperator::ref_bits`] wide.
+//!
+//! # Example
+//!
+//! ```
+//! use apx_operators::{AddTrunc, ApxOperator};
+//!
+//! let op = AddTrunc::new(16, 12); // 16-bit operands, 12-bit output
+//! let (a, b) = (0x1234, 0x0FF7);
+//! let approx = op.aligned_u(a, b);
+//! let exact = op.reference_u(a, b);
+//! assert_eq!(exact, 0x222B);
+//! assert_eq!(approx, 0x2220); // 4 LSBs truncated away
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adders;
+mod config;
+mod context;
+mod mul_array;
+mod mul_booth;
+mod traits;
+pub(crate) mod util;
+
+pub use adders::{Aca, AddExact, AddRound, AddTrunc, EtaIi, EtaIv, FaType, RcaApx};
+pub use config::OperatorConfig;
+pub use context::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};
+pub use mul_array::{Aam, MulExact, MulRound, MulTrunc};
+pub use mul_booth::{Abm, AbmUncorrected, MulBoothExact};
+pub use traits::{ApxOperator, OpClass};
+pub use util::{centered_diff, mask_u, sext, to_u};

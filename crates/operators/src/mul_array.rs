@@ -1,0 +1,518 @@
+//! Array (Baugh-Wooley) multipliers: exact, fixed-width truncated/rounded,
+//! and the AAM approximate array multiplier of Van et al.
+//!
+//! All array multipliers here share one source of truth for the partial-
+//! product grid: [`bw_terms`] places every Baugh-Wooley term (AND, NAND or
+//! constant 1) at its column. The **functional model** sums the same terms
+//! the **netlist generator** instantiates, so the two cannot drift apart.
+//!
+//! Baugh-Wooley (modified form), for `n`-bit two's-complement operands:
+//!
+//! ```text
+//! a·b ≡  Σ_{i,j<n-1} aᵢbⱼ 2^{i+j}
+//!      + Σ_{j<n-1} !(a_{n-1}bⱼ) 2^{n-1+j}  + Σ_{i<n-1} !(aᵢb_{n-1}) 2^{n-1+i}
+//!      + a_{n-1}b_{n-1} 2^{2n-2} + 2^{2n-1} + 2^n        (mod 2^{2n})
+//! ```
+
+use crate::traits::{ApxOperator, OpClass};
+use crate::util::{bit, mask_u};
+use apx_netlist::{NetId, Netlist, NetlistBuilder};
+
+/// One Baugh-Wooley partial-product term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BwTerm {
+    /// `a_i & b_j`
+    And(u32, u32),
+    /// `!(a_i & b_j)`
+    Nand(u32, u32),
+    /// Constant 1.
+    One,
+}
+
+impl BwTerm {
+    #[inline]
+    pub(crate) fn value(self, a: u64, b: u64) -> u64 {
+        match self {
+            BwTerm::And(i, j) => bit(a, i) & bit(b, j),
+            BwTerm::Nand(i, j) => 1 ^ (bit(a, i) & bit(b, j)),
+            BwTerm::One => 1,
+        }
+    }
+
+    fn net(self, b: &mut NetlistBuilder, av: &[NetId], bv: &[NetId]) -> NetId {
+        match self {
+            BwTerm::And(i, j) => b.and(av[i as usize], bv[j as usize]),
+            BwTerm::Nand(i, j) => b.nand(av[i as usize], bv[j as usize]),
+            BwTerm::One => b.tie1(),
+        }
+    }
+}
+
+/// The complete modified-Baugh-Wooley term grid for an `n×n` signed
+/// multiplier: `terms[c]` holds the terms of weight `2^c`, `c < 2n`.
+pub(crate) fn bw_terms(n: u32) -> Vec<Vec<BwTerm>> {
+    let mut cols = vec![Vec::new(); (2 * n) as usize];
+    for i in 0..n {
+        for j in 0..n {
+            let sign_i = i == n - 1;
+            let sign_j = j == n - 1;
+            let term = if sign_i ^ sign_j {
+                BwTerm::Nand(i, j)
+            } else {
+                BwTerm::And(i, j)
+            };
+            cols[(i + j) as usize].push(term);
+        }
+    }
+    cols[n as usize].push(BwTerm::One);
+    cols[(2 * n - 1) as usize].push(BwTerm::One);
+    cols
+}
+
+/// Sums the term grid functionally (columns filtered by `keep`).
+pub(crate) fn sum_terms(cols: &[Vec<BwTerm>], a: u64, b: u64, keep: impl Fn(u32) -> bool) -> u128 {
+    let mut total = 0u128;
+    for (c, col) in cols.iter().enumerate() {
+        if !keep(c as u32) {
+            continue;
+        }
+        for term in col {
+            total += u128::from(term.value(a, b)) << c;
+        }
+    }
+    total
+}
+
+/// Builds the nets of the kept columns for a netlist.
+fn build_columns(
+    b: &mut NetlistBuilder,
+    cols: &[Vec<BwTerm>],
+    av: &[NetId],
+    bv: &[NetId],
+    keep: impl Fn(u32) -> bool,
+) -> Vec<Vec<NetId>> {
+    cols.iter()
+        .enumerate()
+        .map(|(c, col)| {
+            if keep(c as u32) {
+                col.iter().map(|t| t.net(b, av, bv)).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect()
+}
+
+/// Exact `n×n → 2n` two's-complement array multiplier (modified
+/// Baugh-Wooley grid + Wallace-style compression) — the accuracy
+/// reference for all multiplier comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulExact {
+    n: u32,
+    cols: Vec<Vec<BwTerm>>,
+}
+
+impl MulExact {
+    /// Creates an exact `n×n` multiplier.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((2..=24).contains(&n), "n out of range");
+        MulExact {
+            n,
+            cols: bw_terms(n),
+        }
+    }
+}
+
+impl ApxOperator for MulExact {
+    fn name(&self) -> String {
+        format!("MUL({},{})", self.n, 2 * self.n)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Multiplier
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        2 * self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        (sum_terms(&self.cols, a, b, |_| true) as u64) & mask_u(2 * self.n)
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let cols = bw_terms(self.n);
+        let columns = build_columns(&mut b, &cols, &av, &bv, |_| true);
+        let out = b.compress_columns(columns, 2 * n);
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Truncated fixed-width multiplier `MULt(n, q)`: the full product is
+/// computed, and only the `q` most-significant of the `2n` product bits
+/// are kept (post-truncation — the whole carry structure is retained,
+/// which is why `MULt` is the most accurate fixed-width choice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulTrunc {
+    n: u32,
+    q: u32,
+    cols: Vec<Vec<BwTerm>>,
+}
+
+impl MulTrunc {
+    /// Creates `MULt(n, q)`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 24` and `1 <= q <= 2n`.
+    #[must_use]
+    pub fn new(n: u32, q: u32) -> Self {
+        assert!((2..=24).contains(&n), "n out of range");
+        assert!((1..=2 * n).contains(&q), "q out of range");
+        MulTrunc {
+            n,
+            q,
+            cols: bw_terms(n),
+        }
+    }
+}
+
+impl ApxOperator for MulTrunc {
+    fn name(&self) -> String {
+        format!("MULt({},{})", self.n, self.q)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Multiplier
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.q
+    }
+    fn output_shift(&self) -> u32 {
+        2 * self.n - self.q
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let full = (sum_terms(&self.cols, a, b, |_| true) as u64) & mask_u(2 * self.n);
+        (full >> (2 * self.n - self.q)) & mask_u(self.q)
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let cols = bw_terms(self.n);
+        let columns = build_columns(&mut b, &cols, &av, &bv, |_| true);
+        let out = b.compress_columns(columns, 2 * n);
+        b.output_bus("y", &out[2 * n - self.q as usize..]);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Rounded fixed-width multiplier `MULr(n, q)`: like [`MulTrunc`] but a
+/// rounding constant `2^(2n-q-1)` is injected into the compression grid,
+/// centering the quantization error at zero for one extra compressor input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulRound {
+    n: u32,
+    q: u32,
+    cols: Vec<Vec<BwTerm>>,
+}
+
+impl MulRound {
+    /// Creates `MULr(n, q)`.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 24` and `1 <= q < 2n`.
+    #[must_use]
+    pub fn new(n: u32, q: u32) -> Self {
+        assert!((2..=24).contains(&n), "n out of range");
+        assert!((1..2 * n).contains(&q), "q out of range");
+        MulRound {
+            n,
+            q,
+            cols: bw_terms(n),
+        }
+    }
+}
+
+impl ApxOperator for MulRound {
+    fn name(&self) -> String {
+        format!("MULr({},{})", self.n, self.q)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Multiplier
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.q
+    }
+    fn output_shift(&self) -> u32 {
+        2 * self.n - self.q
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let round = 1u128 << (2 * self.n - self.q - 1);
+        let full = sum_terms(&self.cols, a, b, |_| true) + round;
+        ((full as u64) & mask_u(2 * self.n)) >> (2 * self.n - self.q)
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let cols = bw_terms(self.n);
+        let mut columns = build_columns(&mut b, &cols, &av, &bv, |_| true);
+        let one = b.tie1();
+        columns[(2 * self.n - self.q - 1) as usize].push(one);
+        let out = b.compress_columns(columns, 2 * n);
+        b.output_bus("y", &out[2 * n - self.q as usize..]);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Approximate Array Multiplier `AAM(n)` — Van, Wang, Feng (IEEE TCAS-II,
+/// 2000): a fixed-width (`n`-bit output) array multiplier whose
+/// partial-product cells **below the main diagonal are pruned** and
+/// replaced by a compensation network built from the diagonal partial
+/// products (a row of OR gates feeding the first kept column — the
+/// "simple series of AND and OR gates along the diagonal" of the paper).
+///
+/// Compared with [`MulTrunc`]`(n, n)`, AAM removes roughly half of the
+/// array (area win) at the price of a statistical rather than exact carry
+/// into the kept half.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aam {
+    n: u32,
+    tree_compression: bool,
+    cols: Vec<Vec<BwTerm>>,
+}
+
+impl Aam {
+    /// Creates `AAM(n)` with the faithful ripple-array accumulation
+    /// structure (Van's design is an array multiplier; its longer, glitchy
+    /// carry-save rows are why the paper measures it slower and hungrier
+    /// than the synthesized `MULt`).
+    ///
+    /// # Panics
+    /// Panics unless `4 <= n <= 24`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((4..=24).contains(&n), "n out of range");
+        Aam {
+            n,
+            tree_compression: false,
+            cols: bw_terms(n),
+        }
+    }
+
+    /// Ablation variant: same pruning/compensation but with balanced
+    /// Wallace-tree accumulation, isolating how much of AAM's cost is the
+    /// array structure rather than the approximation.
+    #[must_use]
+    pub fn with_tree_compression(mut self) -> Self {
+        self.tree_compression = true;
+        self
+    }
+
+    /// Diagonal (column `n-1`) terms in ascending `i` order.
+    fn diagonal_terms(&self) -> &[BwTerm] {
+        &self.cols[(self.n - 1) as usize]
+    }
+}
+
+impl ApxOperator for Aam {
+    fn name(&self) -> String {
+        if self.tree_compression {
+            format!("AAMtree({})", self.n)
+        } else {
+            format!("AAM({})", self.n)
+        }
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Multiplier
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_shift(&self) -> u32 {
+        self.n
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let n = self.n;
+        // kept half: columns >= n
+        let mut total = sum_terms(&self.cols, a, b, |c| c >= n);
+        // compensation: OR of adjacent diagonal pairs, injected at weight n
+        let diag: Vec<u64> = self.diagonal_terms().iter().map(|t| t.value(a, b)).collect();
+        for pair in diag.chunks(2) {
+            let or = pair.iter().copied().fold(0, |acc, v| acc | v);
+            total += u128::from(or) << n;
+        }
+        ((total >> n) as u64) & mask_u(n)
+    }
+    fn netlist(&self) -> Netlist {
+        let n = self.n as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", n);
+        let bv = b.input_bus("b", n);
+        let cols = self.cols.clone();
+        // kept columns re-based at weight n (the output scale)
+        let mut columns: Vec<Vec<NetId>> = (0..n).map(|_| Vec::new()).collect();
+        for c in n..2 * n {
+            for term in &cols[c] {
+                let net = term.net(&mut b, &av, &bv);
+                columns[c - n].push(net);
+            }
+        }
+        // compensation: diagonal terms, OR-ed in adjacent pairs, into col 0
+        let diag_nets: Vec<NetId> = self
+            .diagonal_terms()
+            .iter()
+            .map(|t| t.net(&mut b, &av, &bv))
+            .collect();
+        for pair in diag_nets.chunks(2) {
+            let comp = if pair.len() == 2 {
+                b.or(pair[0], pair[1])
+            } else {
+                pair[0]
+            };
+            columns[0].push(comp);
+        }
+        let out = if self.tree_compression {
+            b.compress_columns(columns, n)
+        } else {
+            b.compress_columns_array(columns, n)
+        };
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{sext, to_u};
+    use apx_netlist::verify::{verify_exhaustive2, verify_random2};
+
+    #[test]
+    fn bw_grid_sums_to_the_signed_product() {
+        for n in [2u32, 3, 4, 5, 6] {
+            let cols = bw_terms(n);
+            for a in 0..1u64 << n {
+                for b in 0..1u64 << n {
+                    let got = (sum_terms(&cols, a, b, |_| true) as u64) & mask_u(2 * n);
+                    let want = to_u(sext(a, n).wrapping_mul(sext(b, n)), 2 * n);
+                    assert_eq!(got, want, "n={n} a={a:#x} b={b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_multiplier_netlist_matches_model() {
+        for n in [3u32, 4, 6] {
+            let op = MulExact::new(n);
+            verify_exhaustive2(&op.netlist(), |a, b| op.eval_u(a, b)).unwrap();
+        }
+        let op = MulExact::new(16);
+        verify_random2(&op.netlist(), 2_000, 11, |a, b| op.eval_u(a, b)).unwrap();
+    }
+
+    #[test]
+    fn trunc_multiplier_netlist_matches_model() {
+        for (n, q) in [(4u32, 4u32), (4, 8), (6, 6), (6, 3)] {
+            let op = MulTrunc::new(n, q);
+            verify_exhaustive2(&op.netlist(), |a, b| op.eval_u(a, b)).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_multiplier_netlist_matches_model() {
+        for (n, q) in [(4u32, 4u32), (6, 6), (6, 9)] {
+            let op = MulRound::new(n, q);
+            verify_exhaustive2(&op.netlist(), |a, b| op.eval_u(a, b)).unwrap();
+        }
+    }
+
+    #[test]
+    fn aam_netlist_matches_model() {
+        for n in [4u32, 6] {
+            let op = Aam::new(n);
+            verify_exhaustive2(&op.netlist(), |a, b| op.eval_u(a, b)).unwrap();
+        }
+        let op = Aam::new(16);
+        verify_random2(&op.netlist(), 2_000, 13, |a, b| op.eval_u(a, b)).unwrap();
+    }
+
+    #[test]
+    fn trunc_error_is_the_dropped_fraction() {
+        let op = MulTrunc::new(8, 8);
+        for (a, b) in [(0x7Fu64, 0x7Fu64), (0x80, 0x80), (0xAB, 0x34), (0x01, 0xFF)] {
+            let e = crate::centered_diff(op.reference_u(a, b), op.aligned_u(a, b), 16);
+            assert!((0..256).contains(&e), "e={e}");
+        }
+    }
+
+    #[test]
+    fn aam_tracks_the_exact_fixed_width_product() {
+        // Exhaustive 8-bit: AAM output must stay within a few output LSBs
+        // of the truncated exact product (Table I: AAM ~1 dB worse).
+        let aam = Aam::new(8);
+        let mut worst = 0i64;
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                let e = crate::centered_diff(aam.reference_u(a, b), aam.aligned_u(a, b), 16);
+                // e is at product scale; output LSB is 2^8
+                worst = worst.max(e.abs() / 256);
+            }
+        }
+        assert!(worst <= 8, "AAM should stay within ~8 output LSBs: {worst}");
+    }
+
+    #[test]
+    fn aam_is_smaller_than_the_exact_fixed_width_multiplier() {
+        let full = MulTrunc::new(16, 16).netlist().stats().num_gates;
+        let aam = Aam::new(16).netlist().stats().num_gates;
+        assert!(
+            aam < full,
+            "AAM ({aam} gates) must be smaller than MULt ({full} gates)"
+        );
+    }
+
+    #[test]
+    fn rounding_beats_truncation_on_mse() {
+        let tr = MulTrunc::new(6, 6);
+        let ro = MulRound::new(6, 6);
+        let (mut se_t, mut se_r) = (0i128, 0i128);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let r = tr.reference_u(a, b);
+                let et = i128::from(crate::centered_diff(r, tr.aligned_u(a, b), 12));
+                let er = i128::from(crate::centered_diff(r, ro.aligned_u(a, b), 12));
+                se_t += et * et;
+                se_r += er * er;
+            }
+        }
+        assert!(se_r < se_t, "round {se_r} !< trunc {se_t}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Bit-manipulation helpers shared by the operator models.
+
+/// Mask with the low `bits` bits set. `bits` may be 0..=64.
+///
+/// # Example
+/// ```
+/// assert_eq!(apx_operators::mask_u(4), 0xF);
+/// assert_eq!(apx_operators::mask_u(0), 0);
+/// ```
+#[must_use]
+#[inline]
+pub fn mask_u(bits: u32) -> u64 {
+    if bits >= 64 {
+        !0
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Sign-extends the low `bits` bits of `v` into an `i64`.
+///
+/// # Example
+/// ```
+/// assert_eq!(apx_operators::sext(0xF, 4), -1);
+/// assert_eq!(apx_operators::sext(0x7, 4), 7);
+/// ```
+///
+/// # Panics
+/// Panics if `bits` is 0 or greater than 64.
+#[must_use]
+#[inline]
+pub fn sext(v: u64, bits: u32) -> i64 {
+    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// Converts a signed value to its `bits`-bit two's-complement pattern.
+///
+/// # Example
+/// ```
+/// assert_eq!(apx_operators::to_u(-1, 4), 0xF);
+/// ```
+#[must_use]
+#[inline]
+pub fn to_u(v: i64, bits: u32) -> u64 {
+    (v as u64) & mask_u(bits)
+}
+
+/// Bit `i` of `v` as 0/1.
+#[must_use]
+#[inline]
+pub(crate) fn bit(v: u64, i: u32) -> u64 {
+    (v >> i) & 1
+}
+
+/// Signed difference between two `bits`-bit patterns, interpreted as the
+/// nearest distance on the mod-2^bits circle:
+/// `((reference - approx + 2^(bits-1)) mod 2^bits) - 2^(bits-1)`.
+///
+/// This is the error `e = x - x̂` of the paper, robust to the modular
+/// wrap-around that both the reference and the approximate data-path share.
+///
+/// # Example
+/// ```
+/// // 0x0 vs 0xF at 4 bits: distance is +1, not -15.
+/// assert_eq!(apx_operators::centered_diff(0x0, 0xF, 4), 1);
+/// ```
+///
+/// # Panics
+/// Panics if `bits` is 0 or greater than 63.
+#[must_use]
+#[inline]
+pub fn centered_diff(reference: u64, approx: u64, bits: u32) -> i64 {
+    assert!(bits >= 1 && bits <= 63, "bits out of range");
+    let m = mask_u(bits);
+    let half = 1u64 << (bits - 1);
+    let d = (reference.wrapping_sub(approx).wrapping_add(half)) & m;
+    d as i64 - half as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sext_roundtrips_with_to_u() {
+        for bits in [1u32, 4, 8, 16, 32] {
+            let lo = if bits == 1 { -1 } else { -(1i64 << (bits - 1)) };
+            let hi = if bits == 1 { 0 } else { (1i64 << (bits - 1)) - 1 };
+            for v in [lo, -1, 0, 1, hi] {
+                let v = v.clamp(lo, hi);
+                assert_eq!(sext(to_u(v, bits), bits), v, "bits={bits} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn centered_diff_is_antisymmetric_and_small() {
+        for bits in [4u32, 8, 16] {
+            let m = mask_u(bits);
+            for (r, a) in [(0u64, 1u64), (1, 0), (m, 0), (0, m), (m / 2, m / 2 + 3)] {
+                let d = centered_diff(r & m, a & m, bits);
+                assert_eq!(d, -centered_diff(a & m, r & m, bits));
+                assert!(d.unsigned_abs() <= 1 << (bits - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn centered_diff_matches_plain_subtraction_when_no_wrap() {
+        assert_eq!(centered_diff(100, 90, 16), 10);
+        assert_eq!(centered_diff(90, 100, 16), -10);
+    }
+}

@@ -1,0 +1,56 @@
+//! Operator explorer: sweeps every 16-bit adder of the paper, prints the
+//! MSE-vs-PDP Pareto front for the fixed-point and approximate families
+//! separately, and shows the detailed metric suite (positional BER,
+//! acceptance probability, error PDF) for one operator of each family.
+//!
+//! Run with: `cargo run --release --example operator_explorer`
+
+use apxperf::prelude::*;
+
+fn main() {
+    let lib = Library::fdsoi28();
+    let mut chz = Characterizer::new(&lib).with_settings(CharacterizerSettings {
+        error_samples: 50_000,
+        power_vectors: 600,
+        ..CharacterizerSettings::default()
+    });
+
+    let mut fxp_points = Vec::new();
+    let mut apx_points = Vec::new();
+    for config in sweeps::all_adders_16bit() {
+        let r = chz.characterize(&config);
+        let point = ParetoPoint {
+            name: r.name.clone(),
+            x: r.error.mse_db,
+            y: r.hw.pdp_pj,
+        };
+        if config.is_fixed_point() {
+            fxp_points.push(point);
+        } else {
+            apx_points.push(point);
+        }
+    }
+    println!("fixed-point MSE/PDP Pareto front:");
+    for p in sweeps::pareto_front(&fxp_points) {
+        println!("  {:<14} {:>8.1} dB  {:>8.5} pJ", p.name, p.x, p.y);
+    }
+    println!("approximate MSE/PDP Pareto front:");
+    for p in sweeps::pareto_front(&apx_points) {
+        println!("  {:<16} {:>8.1} dB  {:>8.5} pJ", p.name, p.x, p.y);
+    }
+
+    // detailed metric suite for one operator of each family
+    for config in [
+        OperatorConfig::AddTrunc { n: 16, q: 12 },
+        OperatorConfig::Aca { n: 16, p: 6 },
+    ] {
+        let op = config.build();
+        let stats = chz.error_stats(op.as_ref());
+        println!("\n{} details:", op.name());
+        println!("  bias {:.3}, MAE {:.3}, error rate {:.4}", stats.mean_error(), stats.mae(), stats.error_rate());
+        let pber: Vec<String> = (0..16).map(|k| format!("{:.2}", stats.positional_ber(k))).collect();
+        println!("  positional BER (LSB..MSB): {}", pber.join(" "));
+        let ap: Vec<String> = (0..8).map(|k| format!("{:.3}", stats.acceptance_probability_pow2(k))).collect();
+        println!("  AP at MAA=2^k, k=0..7:     {}", ap.join(" "));
+    }
+}

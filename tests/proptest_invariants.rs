@@ -1,0 +1,128 @@
+//! Property-based tests over the cross-crate invariants.
+
+use apxperf::operators::{
+    centered_diff, mask_u, sext, to_u, ApxOperator, FaType, OperatorConfig,
+};
+use proptest::prelude::*;
+
+fn arb_adder_config() -> impl Strategy<Value = OperatorConfig> {
+    prop_oneof![
+        (2u32..=10).prop_map(|n| OperatorConfig::AddExact { n }),
+        (2u32..=10).prop_flat_map(|n| (Just(n), 1..=n)).prop_map(|(n, q)| {
+            OperatorConfig::AddTrunc { n, q }
+        }),
+        (3u32..=10).prop_flat_map(|n| (Just(n), 1..n)).prop_map(|(n, q)| {
+            OperatorConfig::AddRound { n, q }
+        }),
+        (2u32..=10).prop_flat_map(|n| (Just(n), 1..=n)).prop_map(|(n, p)| {
+            OperatorConfig::Aca { n, p }
+        }),
+        (2u32..=10)
+            .prop_flat_map(|n| {
+                let divisors: Vec<u32> = (1..=n).filter(|x| n % x == 0).collect();
+                (Just(n), proptest::sample::select(divisors))
+            })
+            .prop_map(|(n, x)| OperatorConfig::EtaIv { n, x }),
+        (2u32..=10)
+            .prop_flat_map(|n| (Just(n), 0..=n, 0usize..3))
+            .prop_map(|(n, m, t)| OperatorConfig::RcaApx {
+                n,
+                m,
+                fa_type: [FaType::One, FaType::Two, FaType::Three][t],
+            }),
+    ]
+}
+
+fn arb_mult_config() -> impl Strategy<Value = OperatorConfig> {
+    prop_oneof![
+        (2u32..=8).prop_map(|n| OperatorConfig::MulExact { n }),
+        (2u32..=8).prop_flat_map(|n| (Just(n), 1..=2 * n)).prop_map(|(n, q)| {
+            OperatorConfig::MulTrunc { n, q }
+        }),
+        (2u32..=4).prop_map(|k| OperatorConfig::MulBooth { n: 2 * k }),
+        (4u32..=8).prop_map(|n| OperatorConfig::Aam { n }),
+        (2u32..=4).prop_map(|k| OperatorConfig::Abm { n: 2 * k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every operator's aligned output stays within the reference width,
+    /// and exact operators have zero error.
+    #[test]
+    fn aligned_output_in_range(config in arb_adder_config(), a in any::<u64>(), b in any::<u64>()) {
+        let op = config.build();
+        let mask = mask_u(op.input_bits());
+        let (a, b) = (a & mask, b & mask);
+        let aligned = op.aligned_u(a, b);
+        prop_assert!(aligned <= mask_u(op.ref_bits()));
+        if matches!(config, OperatorConfig::AddExact { .. }) {
+            prop_assert_eq!(aligned, op.reference_u(a, b));
+        }
+    }
+
+    /// Truncation error is non-negative and bounded by the dropped bits
+    /// (for q >= 2 the bound stays below half the reference range, so the
+    /// centered difference cannot wrap).
+    #[test]
+    fn trunc_error_bounds(n in 3u32..=12, qd in 1u32..=6, a in any::<u64>(), b in any::<u64>()) {
+        let q = n.saturating_sub(qd).max(2);
+        let op = OperatorConfig::AddTrunc { n, q }.build();
+        let mask = mask_u(n);
+        let (a, b) = (a & mask, b & mask);
+        let e = centered_diff(op.reference_u(a, b), op.aligned_u(a, b), n);
+        let s = n - q;
+        prop_assert!(e >= 0);
+        prop_assert!(e <= 2 * ((1i64 << s) - 1));
+    }
+
+    /// Multiplier models agree with native signed multiplication when
+    /// they are exact, and all netlists match their functional models.
+    #[test]
+    fn mult_netlist_equivalence(config in arb_mult_config(), a in any::<u64>(), b in any::<u64>()) {
+        let op = config.build();
+        let mask = mask_u(op.input_bits());
+        let (a, b) = (a & mask, b & mask);
+        if matches!(config, OperatorConfig::MulExact { .. } | OperatorConfig::MulBooth { .. }) {
+            let n = op.input_bits();
+            let expected = to_u(sext(a, n).wrapping_mul(sext(b, n)), 2 * n);
+            prop_assert_eq!(op.eval_u(a, b), expected);
+        }
+        // single-point netlist equivalence (cheap, covers the whole family
+        // over many cases)
+        let nl = op.netlist();
+        let mut sim = apxperf::netlist::Sim64::new(&nl);
+        sim.set_bus_lanes("a", &[a]);
+        sim.set_bus_lanes("b", &[b]);
+        sim.run();
+        prop_assert_eq!(sim.read_bus_lanes("y", 1)[0], op.eval_u(a, b));
+    }
+
+    /// centered_diff is a metric-compatible signed distance.
+    #[test]
+    fn centered_diff_properties(bits in 2u32..=32, x in any::<u64>(), y in any::<u64>()) {
+        let m = mask_u(bits);
+        let (x, y) = (x & m, y & m);
+        let d = centered_diff(x, y, bits);
+        // antisymmetric except at the antipodal point, where the distance
+        // is exactly half the range and the sign is a convention
+        if d.unsigned_abs() != 1u64 << (bits - 1) {
+            prop_assert_eq!(d, -centered_diff(y, x, bits));
+        }
+        prop_assert!(d.unsigned_abs() <= 1u64 << (bits - 1));
+        // adding the diff back recovers x (mod 2^bits)
+        prop_assert_eq!(y.wrapping_add(d as u64) & m, x);
+    }
+
+    /// MSSIM of an image with itself is 1; with an inverted copy it is low.
+    #[test]
+    fn mssim_extremes(seed in 0u64..50) {
+        let img = apxperf::fixture::image::synthetic_photo(32, 32, seed);
+        let same = apxperf::metrics::mssim(img.pixels(), img.pixels(), 32, 32);
+        prop_assert!((same - 1.0).abs() < 1e-12);
+        let inverted: Vec<u8> = img.pixels().iter().map(|&p| 255 - p).collect();
+        let opposite = apxperf::metrics::mssim(img.pixels(), &inverted, 32, 32);
+        prop_assert!(opposite < same);
+    }
+}
