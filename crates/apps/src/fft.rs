@@ -40,7 +40,10 @@ fn twiddles_q15(n: usize) -> Vec<(i64, i64)> {
 pub fn fft_fixed<C: ArithContext>(re: &mut [i64], im: &mut [i64], ctx: &mut C) {
     let n = re.len();
     assert_eq!(n, im.len(), "mismatched component lengths");
-    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "length must be a power of two"
+    );
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
@@ -211,10 +214,8 @@ mod tests {
     fn truncated_adders_degrade_psnr_monotonically() {
         let fixture = FftFixture::radix2_32(3);
         let psnr_of = |q: u32| {
-            let mut ctx = OperatorCtx::new(
-                Some(OperatorConfig::AddTrunc { n: 16, q }.build()),
-                None,
-            );
+            let mut ctx =
+                OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
             fixture.run(&mut ctx).psnr_db
         };
         let (hi, mid, lo) = (psnr_of(15), psnr_of(11), psnr_of(7));
@@ -226,7 +227,14 @@ mod tests {
     fn approximate_adder_also_degrades_output() {
         let fixture = FftFixture::radix2_32(3);
         let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::RcaApx { n: 16, m: 4, fa_type: apx_operators::FaType::Three }.build()),
+            Some(
+                OperatorConfig::RcaApx {
+                    n: 16,
+                    m: 4,
+                    fa_type: apx_operators::FaType::Three,
+                }
+                .build(),
+            ),
             None,
         );
         let result = fixture.run(&mut ctx);

@@ -85,7 +85,10 @@ impl McFixture {
     /// Panics if `size` is not a positive multiple of 16.
     #[must_use]
     pub fn synthetic(size: usize, seed: u64) -> Self {
-        assert!(size > 0 && size % 16 == 0, "size must be a multiple of 16");
+        assert!(
+            size > 0 && size.is_multiple_of(16),
+            "size must be a multiple of 16"
+        );
         let frame = apx_fixture::image::synthetic_photo(size, size, seed);
         let motion = apx_fixture::motion::motion_field(size, size, 16, seed.wrapping_add(1));
         let mut exact = ExactCtx::new();
@@ -205,10 +208,7 @@ mod tests {
         let result = motion_compensate(&frame, &motion, &mut ctx);
         assert_eq!(result.counts.muls, 0, "integer phases use no filter");
         // interior pixels are plain copies
-        assert_eq!(
-            result.predicted.pixel(10, 10),
-            frame.pixel(12, 11),
-        );
+        assert_eq!(result.predicted.pixel(10, 10), frame.pixel(12, 11),);
     }
 
     #[test]
@@ -247,7 +247,14 @@ mod tests {
         assert!(score > 0.9, "ADDt(16,10) MSSIM {score}");
         // and a brutally approximate adder scores worse
         let mut harsh = OperatorCtx::new(
-            Some(OperatorConfig::RcaApx { n: 16, m: 1, fa_type: FaType::Three }.build()),
+            Some(
+                OperatorConfig::RcaApx {
+                    n: 16,
+                    m: 1,
+                    fa_type: FaType::Three,
+                }
+                .build(),
+            ),
             None,
         );
         let (_, bad) = fixture.run(&mut harsh);

@@ -20,11 +20,7 @@ pub fn dct8_coeffs_q13() -> [[i64; 8]; 8] {
     let mut c = [[0i64; 8]; 8];
     for (u, row) in c.iter_mut().enumerate() {
         for (x, v) in row.iter_mut().enumerate() {
-            let alpha = if u == 0 {
-                (1.0f64 / 2.0).sqrt()
-            } else {
-                1.0
-            };
+            let alpha = if u == 0 { (1.0f64 / 2.0).sqrt() } else { 1.0 };
             let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
             *v = (alpha * angle.cos() / 2.0 * f64::from(1 << DCT_FRAC)).round() as i64;
         }
@@ -35,7 +31,11 @@ pub fn dct8_coeffs_q13() -> [[i64; 8]; 8] {
 /// One-dimensional 8-point DCT through the context. Each product is
 /// rescaled to Q(guard) before accumulation so that every addition fits
 /// the 16-bit data-path, and the guard bits are dropped at the end.
-pub fn dct8_fixed<C: ArithContext>(input: &[i64; 8], coeffs: &[[i64; 8]; 8], ctx: &mut C) -> [i64; 8] {
+pub fn dct8_fixed<C: ArithContext>(
+    input: &[i64; 8],
+    coeffs: &[[i64; 8]; 8],
+    ctx: &mut C,
+) -> [i64; 8] {
     let mut out = [0i64; 8];
     for (u, coeff_row) in coeffs.iter().enumerate() {
         let mut acc = ctx.mul(coeff_row[0], input[0]) >> (DCT_FRAC - DCT_GUARD);
@@ -117,6 +117,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // math-style [u][v][y][x] indexing
     fn fixed_dct_tracks_the_float_dct() {
         // pseudo-random block
         let mut block = [[0i64; 8]; 8];

@@ -199,8 +199,8 @@ impl HuffmanCode {
     /// # Panics
     /// Panics if the symbol has no code (zero training frequency).
     pub fn encode(&self, writer: &mut BitWriter, symbol: u16) {
-        let (code, len) = self.codes[symbol as usize]
-            .unwrap_or_else(|| panic!("symbol {symbol} has no code"));
+        let (code, len) =
+            self.codes[symbol as usize].unwrap_or_else(|| panic!("symbol {symbol} has no code"));
         writer.put(code, len);
     }
 
@@ -277,7 +277,9 @@ mod tests {
     #[test]
     fn huffman_roundtrip_arbitrary_stream() {
         let mut freqs = vec![0u64; 16];
-        let symbols: Vec<u16> = (0..2000u32).map(|i| ((i * i + i / 3) % 16) as u16).collect();
+        let symbols: Vec<u16> = (0..2000u32)
+            .map(|i| ((i * i + i / 3) % 16) as u16)
+            .collect();
         for &s in &symbols {
             freqs[s as usize] += 1;
         }

@@ -13,7 +13,9 @@ mod entropy;
 mod quant;
 
 pub use dct::{dct8_coeffs_q13, dct8_fixed, dct8x8_fixed, idct8x8_f64, DCT_FRAC};
-pub use entropy::{amplitude_bits, amplitude_value, size_category, BitReader, BitWriter, HuffmanCode};
+pub use entropy::{
+    amplitude_bits, amplitude_value, size_category, BitReader, BitWriter, HuffmanCode,
+};
 pub use quant::{quality_table, quantize, zigzag_order, LUMA_Q50};
 
 use crate::{ArithContext, ExactCtx, OpCounts};
@@ -53,7 +55,10 @@ impl JpegFixture {
     /// out of `1..=100`.
     #[must_use]
     pub fn synthetic(size: usize, quality: u32, seed: u64) -> Self {
-        assert!(size > 0 && size % 8 == 0, "size must be a multiple of 8");
+        assert!(
+            size > 0 && size.is_multiple_of(8),
+            "size must be a multiple of 8"
+        );
         let image = apx_fixture::image::synthetic_photo(size, size, seed);
         let mut exact = ExactCtx::new();
         let reference = encode_decode(&image, quality, &mut exact).decoded;
@@ -93,8 +98,7 @@ impl JpegFixture {
 pub fn encode_decode<C: ArithContext>(image: &Image, quality: u32, ctx: &mut C) -> JpegResult {
     let blocks = forward_blocks(image, quality, ctx);
     let bytes = entropy_encode(&blocks);
-    let coeffs =
-        entropy_decode(&bytes, blocks.len()).expect("self-produced stream must decode");
+    let coeffs = entropy_decode(&bytes, blocks.len()).expect("self-produced stream must decode");
     let decoded = reconstruct(&coeffs, image.width(), image.height(), quality);
     JpegResult {
         bytes,
@@ -107,7 +111,7 @@ pub fn encode_decode<C: ArithContext>(image: &Image, quality: u32, ctx: &mut C) 
 /// in raster order.
 fn forward_blocks<C: ArithContext>(image: &Image, quality: u32, ctx: &mut C) -> CoeffBlocks {
     assert!(
-        image.width() % 8 == 0 && image.height() % 8 == 0,
+        image.width().is_multiple_of(8) && image.height().is_multiple_of(8),
         "dimensions must be multiples of 8"
     );
     let qt = quant::quality_table(quality);
@@ -315,13 +319,11 @@ mod tests {
         let fixture = JpegFixture::synthetic(64, 90, 5);
         let mut ctx = ExactCtx::new();
         let (result, _) = fixture.run(&mut ctx);
-        let score_vs_source = mssim(
-            fixture.image().pixels(),
-            result.decoded.pixels(),
-            64,
-            64,
+        let score_vs_source = mssim(fixture.image().pixels(), result.decoded.pixels(), 64, 64);
+        assert!(
+            score_vs_source > 0.85,
+            "q90 MSSIM vs source: {score_vs_source}"
         );
-        assert!(score_vs_source > 0.85, "q90 MSSIM vs source: {score_vs_source}");
     }
 
     #[test]
@@ -355,7 +357,14 @@ mod tests {
             None,
         );
         let mut harsh = OperatorCtx::new(
-            Some(OperatorConfig::RcaApx { n: 16, m: 2, fa_type: FaType::Three }.build()),
+            Some(
+                OperatorConfig::RcaApx {
+                    n: 16,
+                    m: 2,
+                    fa_type: FaType::Three,
+                }
+                .build(),
+            ),
             None,
         );
         let (_, good) = fixture.run(&mut gentle);

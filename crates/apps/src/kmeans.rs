@@ -192,10 +192,8 @@ mod tests {
     fn aggressive_truncation_degrades_success() {
         let fixture = KmeansFixture::synthetic(10, 200, 21);
         let run_q = |q: u32| {
-            let mut ctx = OperatorCtx::new(
-                Some(OperatorConfig::AddTrunc { n: 16, q }.build()),
-                None,
-            );
+            let mut ctx =
+                OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
             fixture.run(&mut ctx).success_rate
         };
         let (hi, lo) = (run_q(11), run_q(4));
@@ -206,8 +204,12 @@ mod tests {
     fn uncorrected_abm_collapses_clustering() {
         // Table VI: ABM success ≈ 10 % (vs ≈ 99 % for MULt/AAM).
         let fixture = KmeansFixture::synthetic(10, 100, 21);
-        let mut good = OperatorCtx::new(None, Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()));
-        let mut bad = OperatorCtx::new(None, Some(OperatorConfig::AbmUncorrected { n: 16 }.build()));
+        let mut good = OperatorCtx::new(
+            None,
+            Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
+        );
+        let mut bad =
+            OperatorCtx::new(None, Some(OperatorConfig::AbmUncorrected { n: 16 }.build()));
         let good_rate = fixture.run(&mut good).success_rate;
         let bad_rate = fixture.run(&mut bad).success_rate;
         assert!(good_rate > 0.95, "MULt: {good_rate}");

@@ -1,7 +1,7 @@
 //! Application-kernel throughput through exact and approximate contexts.
 
 use apx_apps::fft::FftFixture;
-use apx_apps::jpeg::{dct8x8_fixed};
+use apx_apps::jpeg::dct8x8_fixed;
 use apx_apps::kmeans::KmeansFixture;
 use apx_apps::{ExactCtx, OperatorCtx};
 use apx_operators::OperatorConfig;

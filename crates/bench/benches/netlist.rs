@@ -3,7 +3,7 @@
 
 use apx_cells::Library;
 use apx_netlist::{power, sta, Sim64};
-use apx_operators::{ApxOperator, OperatorConfig};
+use apx_operators::OperatorConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,24 +1,38 @@
 //! Functional-model throughput of every operator family (the hot path of
 //! error characterization).
 
+use apx_operators::{ApxOperator, FaType, OperatorConfig};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use apx_operators::{ApxOperator, FaType, OperatorConfig};
 
 fn bench_eval(c: &mut Criterion) {
     let ops: Vec<(&str, Box<dyn ApxOperator>)> = vec![
         ("add_exact_16", OperatorConfig::AddExact { n: 16 }.build()),
-        ("add_trunc_16_10", OperatorConfig::AddTrunc { n: 16, q: 10 }.build()),
+        (
+            "add_trunc_16_10",
+            OperatorConfig::AddTrunc { n: 16, q: 10 }.build(),
+        ),
         ("aca_16_4", OperatorConfig::Aca { n: 16, p: 4 }.build()),
         ("etaiv_16_4", OperatorConfig::EtaIv { n: 16, x: 4 }.build()),
-        ("rcaapx_16_6_3", OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three }.build()),
-        ("mul_trunc_16_16", OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
+        (
+            "rcaapx_16_6_3",
+            OperatorConfig::RcaApx {
+                n: 16,
+                m: 6,
+                fa_type: FaType::Three,
+            }
+            .build(),
+        ),
+        (
+            "mul_trunc_16_16",
+            OperatorConfig::MulTrunc { n: 16, q: 16 }.build(),
+        ),
         ("aam_16", OperatorConfig::Aam { n: 16 }.build()),
         ("abm_16", OperatorConfig::Abm { n: 16 }.build()),
     ];
     let mut group = c.benchmark_group("eval_u");
     for (name, op) in &ops {
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             let mut x = 0x12345u64;
             b.iter(|| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);

@@ -23,8 +23,20 @@ fn main() {
     print_table(
         &["structure", "area_um2", "delay_ns", "power_mW", "PDP_pJ"],
         &[
-            vec!["ripple array".into(), fmt(array.area_um2, 1), fmt(array.delay_ns, 3), fmt(array.power_mw, 4), fmt(array.pdp_pj, 4)],
-            vec!["wallace tree".into(), fmt(tree.area_um2, 1), fmt(tree.delay_ns, 3), fmt(tree.power_mw, 4), fmt(tree.pdp_pj, 4)],
+            vec![
+                "ripple array".into(),
+                fmt(array.area_um2, 1),
+                fmt(array.delay_ns, 3),
+                fmt(array.power_mw, 4),
+                fmt(array.pdp_pj, 4),
+            ],
+            vec![
+                "wallace tree".into(),
+                fmt(tree.area_um2, 1),
+                fmt(tree.delay_ns, 3),
+                fmt(tree.power_mw, 4),
+                fmt(tree.pdp_pj, 4),
+            ],
         ],
     );
 
@@ -35,8 +47,20 @@ fn main() {
     print_table(
         &["variant", "MSE_dB", "BER", "area_um2", "PDP_pJ"],
         &[
-            vec![good.name.clone(), fmt(good.error.mse_db, 2), fmt(good.error.ber, 3), fmt(good.hw.area_um2, 1), fmt(good.hw.pdp_pj, 4)],
-            vec![bad.name.clone(), fmt(bad.error.mse_db, 2), fmt(bad.error.ber, 3), fmt(bad.hw.area_um2, 1), fmt(bad.hw.pdp_pj, 4)],
+            vec![
+                good.name.clone(),
+                fmt(good.error.mse_db, 2),
+                fmt(good.error.ber, 3),
+                fmt(good.hw.area_um2, 1),
+                fmt(good.hw.pdp_pj, 4),
+            ],
+            vec![
+                bad.name.clone(),
+                fmt(bad.error.mse_db, 2),
+                fmt(bad.error.ber, 3),
+                fmt(bad.hw.area_um2, 1),
+                fmt(bad.hw.pdp_pj, 4),
+            ],
         ],
     );
 
@@ -47,8 +71,20 @@ fn main() {
     print_table(
         &["variant", "MSE_dB", "bias", "area_um2", "PDP_pJ"],
         &[
-            vec![tr.name.clone(), fmt(tr.error.mse_db, 2), fmt(tr.error.mean_error, 2), fmt(tr.hw.area_um2, 1), fmt(tr.hw.pdp_pj, 4)],
-            vec![ro.name.clone(), fmt(ro.error.mse_db, 2), fmt(ro.error.mean_error, 2), fmt(ro.hw.area_um2, 1), fmt(ro.hw.pdp_pj, 4)],
+            vec![
+                tr.name.clone(),
+                fmt(tr.error.mse_db, 2),
+                fmt(tr.error.mean_error, 2),
+                fmt(tr.hw.area_um2, 1),
+                fmt(tr.hw.pdp_pj, 4),
+            ],
+            vec![
+                ro.name.clone(),
+                fmt(ro.error.mse_db, 2),
+                fmt(ro.error.mean_error, 2),
+                fmt(ro.hw.area_um2, 1),
+                fmt(ro.hw.pdp_pj, 4),
+            ],
         ],
     );
 

@@ -30,7 +30,9 @@ fn main() {
     }
     println!("FIG3: 16-bit adders, MSE (dB, full-scale) vs hardware cost");
     print_table(
-        &["operator", "family", "MSE_dB", "power_mW", "delay_ns", "PDP_fJ", "area_um2", "ok"],
+        &[
+            "operator", "family", "MSE_dB", "power_mW", "delay_ns", "PDP_fJ", "area_um2", "ok",
+        ],
         &rows,
     );
 }

@@ -28,7 +28,9 @@ fn main() {
     }
     println!("FIG4: 16-bit adders, BER vs hardware cost");
     print_table(
-        &["operator", "family", "BER", "power_mW", "delay_ns", "PDP_fJ", "area_um2"],
+        &[
+            "operator", "family", "BER", "power_mW", "delay_ns", "PDP_fJ", "area_um2",
+        ],
         &rows,
     );
 }

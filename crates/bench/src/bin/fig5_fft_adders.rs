@@ -34,7 +34,9 @@ fn main() {
     }
     println!("FIG5: FFT-32 PSNR vs total PDP (pJ), partner multipliers sized to the adder");
     print_table(
-        &["operator", "family", "PSNR_dB", "E_fft_pJ", "E_add_fJ", "E_mul_fJ"],
+        &[
+            "operator", "family", "PSNR_dB", "E_fft_pJ", "E_add_fJ", "E_mul_fJ",
+        ],
         &rows,
     );
 }

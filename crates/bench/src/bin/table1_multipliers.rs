@@ -32,7 +32,9 @@ fn main() {
     }
     println!("TABLE I: 16-bit fixed-width multipliers");
     print_table(
-        &["operator", "power_mW", "delay_ns", "PDP_pJ", "area_um2", "MSE_dB", "BER_%", "ok"],
+        &[
+            "operator", "power_mW", "delay_ns", "PDP_pJ", "area_um2", "MSE_dB", "BER_%", "ok",
+        ],
         &rows,
     );
     println!();

@@ -24,7 +24,11 @@ fn main() {
         OperatorConfig::AddTrunc { n: 16, q: 10 },
         OperatorConfig::Aca { n: 16, p: 12 },
         OperatorConfig::EtaIv { n: 16, x: 4 },
-        OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: FaType::Three,
+        },
     ];
     let per_pixel = ops_per_fractional_pixel();
     let mut rows = Vec::new();

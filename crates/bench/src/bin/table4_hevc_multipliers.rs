@@ -36,5 +36,7 @@ fn main() {
         &rows,
     );
     println!();
-    println!("paper: MULt 99.918/2.49e-1/1.83e-2/3.77  AAM 99.909/4.42e-1/6.48  ABM 99.907/2.54e-1/3.85");
+    println!(
+        "paper: MULt 99.918/2.49e-1/1.83e-2/3.77  AAM 99.909/4.42e-1/6.48  ABM 99.907/2.54e-1/3.85"
+    );
 }

@@ -28,11 +28,19 @@ fn main() {
         OperatorConfig::AddTrunc { n: 16, q: 11 },
         OperatorConfig::Aca { n: 16, p: 12 },
         OperatorConfig::EtaIv { n: 16, x: 4 },
-        OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: FaType::Three,
+        },
         OperatorConfig::AddTrunc { n: 16, q: 8 },
         OperatorConfig::Aca { n: 16, p: 8 },
         OperatorConfig::EtaIv { n: 16, x: 2 },
-        OperatorConfig::RcaApx { n: 16, m: 10, fa_type: FaType::One },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 10,
+            fa_type: FaType::One,
+        },
     ];
     let per_distance = OpCounts { adds: 3, muls: 2 };
     let mut rows = Vec::new();

@@ -240,10 +240,10 @@ mod tests {
 
     #[test]
     fn mux_selects_d1_when_sel_high() {
-        assert_eq!(eval1(CellKind::Mux2, false, true, true).0, true);
-        assert_eq!(eval1(CellKind::Mux2, false, true, false).0, false);
-        assert_eq!(eval1(CellKind::Mux2, true, false, true).0, false);
-        assert_eq!(eval1(CellKind::Mux2, true, false, false).0, true);
+        assert!(eval1(CellKind::Mux2, false, true, true).0);
+        assert!(!eval1(CellKind::Mux2, false, true, false).0);
+        assert!(!eval1(CellKind::Mux2, true, false, true).0);
+        assert!(eval1(CellKind::Mux2, true, false, false).0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl CellSpec {
 
     /// Convenience constructor for a cell whose arcs are all identical.
     #[must_use]
+    #[allow(clippy::too_many_arguments)] // one scalar per physical quantity
     pub(crate) fn uniform(
         area_um2: f64,
         input_cap_ff: f64,

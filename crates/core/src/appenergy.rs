@@ -84,10 +84,7 @@ pub fn model_for_adder(chz: &mut Characterizer<'_>, adder: &OperatorConfig) -> A
 /// Builds the energy model for a **multiplier under test**: the
 /// multiplier's own PDP plus its sized partner adder's PDP
 /// (Tables IV/VI, Table II).
-pub fn model_for_multiplier(
-    chz: &mut Characterizer<'_>,
-    mult: &OperatorConfig,
-) -> AppEnergyModel {
+pub fn model_for_multiplier(chz: &mut Characterizer<'_>, mult: &OperatorConfig) -> AppEnergyModel {
     let mult_pdp_pj = chz.characterize(mult).hw.pdp_pj;
     let partner = partner_adder(mult);
     let adder_pdp_pj = chz.characterize(&partner).hw.pdp_pj;
@@ -144,7 +141,11 @@ mod tests {
         let sized = model_for_adder(&mut chz, &OperatorConfig::AddTrunc { n: 16, q: 10 });
         let approx = model_for_adder(
             &mut chz,
-            &OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
+            &OperatorConfig::RcaApx {
+                n: 16,
+                m: 6,
+                fa_type: FaType::Three,
+            },
         );
         let counts = OpCounts { adds: 14, muls: 16 }; // one HEVC 2-pass pixel
         let e_sized = sized.energy_pj(counts);

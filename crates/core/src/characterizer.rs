@@ -11,9 +11,9 @@ use serde::{Deserialize, Serialize};
 /// Tunables of the characterization pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CharacterizerSettings {
-    /// Random samples for the error characterization (the paper uses
-    /// >10⁷ on a cluster; 10⁵–10⁶ converges for every scalar metric here
-    /// and repro binaries expose a knob).
+    /// Random samples for the error characterization (the paper uses >10⁷
+    /// on a cluster; 10⁵–10⁶ converges for every scalar metric here and
+    /// repro binaries expose a knob).
     pub error_samples: usize,
     /// Random vectors for equivalence checking when the operand space is
     /// too wide for an exhaustive sweep.
@@ -95,9 +95,12 @@ impl<'a> Characterizer<'a> {
         let result = if total_bits <= self.settings.exhaustive_up_to_bits {
             verify::verify_exhaustive2(&nl, |a, b| op.eval_u(a, b))
         } else {
-            verify::verify_random2(&nl, self.settings.verify_samples, self.settings.seed, |a, b| {
-                op.eval_u(a, b)
-            })
+            verify::verify_random2(
+                &nl,
+                self.settings.verify_samples,
+                self.settings.seed,
+                |a, b| op.eval_u(a, b),
+            )
         };
         result.is_ok()
     }

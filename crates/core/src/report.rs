@@ -52,7 +52,9 @@ impl ErrorSummary {
             min_error: stats.min_error(),
             max_error: stats.max_error(),
             positional_ber: (0..ref_bits).map(|k| stats.positional_ber(k)).collect(),
-            acceptance_pow2: (0..=8).map(|k| stats.acceptance_probability_pow2(k)).collect(),
+            acceptance_pow2: (0..=8)
+                .map(|k| stats.acceptance_probability_pow2(k))
+                .collect(),
         }
     }
 }
@@ -157,10 +159,26 @@ mod tests {
     #[test]
     fn pareto_front_removes_dominated_points() {
         let pts = vec![
-            ParetoPoint { name: "a".into(), x: 1.0, y: 5.0 },
-            ParetoPoint { name: "b".into(), x: 2.0, y: 2.0 },
-            ParetoPoint { name: "c".into(), x: 3.0, y: 4.0 },
-            ParetoPoint { name: "d".into(), x: 0.5, y: 9.0 },
+            ParetoPoint {
+                name: "a".into(),
+                x: 1.0,
+                y: 5.0,
+            },
+            ParetoPoint {
+                name: "b".into(),
+                x: 2.0,
+                y: 2.0,
+            },
+            ParetoPoint {
+                name: "c".into(),
+                x: 3.0,
+                y: 4.0,
+            },
+            ParetoPoint {
+                name: "d".into(),
+                x: 0.5,
+                y: 9.0,
+            },
         ];
         let front = pareto_front(&pts);
         let names: Vec<&str> = front.iter().map(|p| p.name.as_str()).collect();

@@ -92,8 +92,16 @@ pub fn table_adder_points() -> Vec<OperatorConfig> {
         OperatorConfig::Aca { n: 16, p: 8 },
         OperatorConfig::EtaIv { n: 16, x: 4 },
         OperatorConfig::EtaIv { n: 16, x: 2 },
-        OperatorConfig::RcaApx { n: 16, m: 6, fa_type: FaType::Three },
-        OperatorConfig::RcaApx { n: 16, m: 10, fa_type: FaType::One },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: FaType::Three,
+        },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 10,
+            fa_type: FaType::One,
+        },
     ]
 }
 

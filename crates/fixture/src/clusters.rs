@@ -59,7 +59,10 @@ pub fn gaussian_clusters_with_range(
 ) -> PointCloud {
     assert!(num_clusters > 0, "need at least one cluster");
     assert!(spread > 0.0, "spread must be positive");
-    assert!(range > 0.0 && range <= 32_000.0, "range out of 16-bit envelope");
+    assert!(
+        range > 0.0 && range <= 32_000.0,
+        "range out of 16-bit envelope"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let min_sep = (4.5 * spread).min(2.0 * range / (num_clusters as f64).sqrt());
 
@@ -96,10 +99,7 @@ pub fn gaussian_clusters_with_range(
     PointCloud {
         points,
         labels,
-        centers: centers
-            .iter()
-            .map(|c| [c[0] as i64, c[1] as i64])
-            .collect(),
+        centers: centers.iter().map(|c| [c[0] as i64, c[1] as i64]).collect(),
     }
 }
 

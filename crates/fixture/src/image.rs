@@ -109,8 +109,7 @@ pub fn synthetic_photo(width: usize, height: usize, seed: u64) -> Image {
             let (fx, fy) = (x as f64 / width as f64, y as f64 / height as f64);
             let mut v = 128.0;
             for &(kx, ky, phase, amp) in &waves {
-                v += amp
-                    * (std::f64::consts::TAU * (kx * fx + ky * fy) + phase).cos();
+                v += amp * (std::f64::consts::TAU * (kx * fx + ky * fy) + phase).cos();
             }
             field[y * width + x] = v;
         }

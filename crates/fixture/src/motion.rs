@@ -48,7 +48,7 @@ impl MotionField {
 pub fn motion_field(width: usize, height: usize, block_size: usize, seed: u64) -> MotionField {
     assert!(block_size > 0, "block size must be positive");
     assert!(
-        width % block_size == 0 && height % block_size == 0,
+        width.is_multiple_of(block_size) && height.is_multiple_of(block_size),
         "block size must tile the frame"
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -82,10 +82,7 @@ mod tests {
         let a = motion_field(128, 96, 16, 1);
         let b = motion_field(128, 96, 16, 1);
         assert_eq!(a, b);
-        assert!(a
-            .vectors
-            .iter()
-            .any(|&(dx, dy)| dx % 4 != 0 || dy % 4 != 0));
+        assert!(a.vectors.iter().any(|&(dx, dy)| dx % 4 != 0 || dy % 4 != 0));
     }
 
     #[test]

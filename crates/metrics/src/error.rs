@@ -377,7 +377,9 @@ mod tests {
         let mut s = ErrorStats::new(16, 15);
         let mut x = 777u64;
         for _ in 0..4096 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (x >> 16) & 0xFFFF;
             let e = (x >> 40) & 0x7;
             s.record(r, r.wrapping_sub(e) & 0xFFFF);

@@ -116,7 +116,10 @@ mod tests {
         let heavily: Vec<u8> = img.iter().map(|&p| (p / 16) * 16).collect();
         let s1 = mssim(&img, &slightly, 64, 64);
         let s2 = mssim(&img, &heavily, 64, 64);
-        assert!(s1 > s2, "light degradation {s1} must score above heavy {s2}");
+        assert!(
+            s1 > s2,
+            "light degradation {s1} must score above heavy {s2}"
+        );
         assert!(s1 < 1.0 && s2 > 0.0);
     }
 

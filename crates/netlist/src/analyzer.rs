@@ -172,7 +172,11 @@ mod tests {
             "delay {}",
             report.delay_ns
         );
-        assert!((0.002..0.05).contains(&report.pdp_pj), "pdp {}", report.pdp_pj);
+        assert!(
+            (0.002..0.05).contains(&report.pdp_pj),
+            "pdp {}",
+            report.pdp_pj
+        );
     }
 
     #[test]
@@ -180,11 +184,7 @@ mod tests {
         let lib = Library::fdsoi28();
         let nl = rca(4);
         let report = HwAnalyzer::new(&lib).analyze(&nl);
-        let expected: f64 = nl
-            .gates()
-            .iter()
-            .map(|g| lib.spec(g.kind).area_um2)
-            .sum();
+        let expected: f64 = nl.gates().iter().map(|g| lib.spec(g.kind).area_um2).sum();
         assert!((report.area_um2 - expected).abs() < 1e-9);
     }
 }

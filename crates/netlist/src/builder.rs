@@ -397,11 +397,7 @@ mod tests {
         // closure that recomputes the column sum from the inputs.
         let mut b = NetlistBuilder::new("columns");
         let x = b.input_bus("a", 6);
-        let columns = vec![
-            vec![x[0], x[1], x[2]],
-            vec![x[3], x[4]],
-            vec![x[5]],
-        ];
+        let columns = vec![vec![x[0], x[1], x[2]], vec![x[3], x[4]], vec![x[5]]];
         let out = b.compress_columns(columns, 4);
         b.output_bus("y", &out);
         let nl = b.finish();

@@ -100,10 +100,7 @@ fn check_batch(
 /// # Panics
 /// Panics if the total input width exceeds 24 bits (exhaustive sweep would
 /// be too large — use [`verify_random2`]).
-pub fn verify_exhaustive1(
-    nl: &Netlist,
-    f: impl Fn(u64) -> u64,
-) -> Result<(), VerifyMismatchError> {
+pub fn verify_exhaustive1(nl: &Netlist, f: impl Fn(u64) -> u64) -> Result<(), VerifyMismatchError> {
     let widths = bus_widths(nl);
     let total: usize = widths.iter().map(|(_, w)| w).sum();
     assert!(total <= 24, "exhaustive verification over {total} bits");

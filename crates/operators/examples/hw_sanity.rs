@@ -16,16 +16,31 @@ fn main() {
         OperatorConfig::AddTrunc { n: 16, q: 8 },
         OperatorConfig::Aca { n: 16, p: 4 },
         OperatorConfig::EtaIv { n: 16, x: 4 },
-        OperatorConfig::RcaApx { n: 16, m: 8, fa_type: apx_operators::FaType::One },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 8,
+            fa_type: apx_operators::FaType::One,
+        },
         OperatorConfig::MulTrunc { n: 16, q: 16 },
         OperatorConfig::Aam { n: 16 },
         OperatorConfig::Abm { n: 16 },
         OperatorConfig::AbmUncorrected { n: 16 },
     ];
-    println!("{:<16} {:>9} {:>9} {:>9} {:>9} {:>7}", "op", "area um2", "delay ns", "power mW", "pdp pJ", "gates");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "op", "area um2", "delay ns", "power mW", "pdp pJ", "gates"
+    );
     for config in configs {
         let op = config.build();
         let r = analyzer.analyze(&op.netlist());
-        println!("{:<16} {:>9.1} {:>9.3} {:>9.4} {:>9.4} {:>7}", op.name(), r.area_um2, r.delay_ns, r.power_mw, r.pdp_pj, r.num_gates);
+        println!(
+            "{:<16} {:>9.1} {:>9.3} {:>9.4} {:>9.4} {:>7}",
+            op.name(),
+            r.area_um2,
+            r.delay_ns,
+            r.power_mw,
+            r.pdp_pj,
+            r.num_gates
+        );
     }
 }

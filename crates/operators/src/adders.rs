@@ -298,7 +298,7 @@ impl EtaIv {
     #[must_use]
     pub fn new(n: u32, x: u32) -> Self {
         assert!((2..=32).contains(&n), "n out of range");
-        assert!(x >= 1 && n % x == 0, "x must divide n");
+        assert!(x >= 1 && n.is_multiple_of(x), "x must divide n");
         EtaIv { n, x }
     }
 }
@@ -388,7 +388,7 @@ impl EtaIi {
     #[must_use]
     pub fn new(n: u32, x: u32) -> Self {
         assert!((2..=32).contains(&n), "n out of range");
-        assert!(x >= 1 && n % x == 0, "x must divide n");
+        assert!(x >= 1 && n.is_multiple_of(x), "x must divide n");
         EtaIi { n, x }
     }
 }
@@ -765,7 +765,10 @@ mod tests {
         // justifies the type ordering is hardware cost (type 3 is free,
         // type 2 cheaper than type 1), checked in the netlist test below.
         assert_eq!(e1, e2, "types 1 and 2 have symmetric error tables");
-        assert!(e1 < e3, "type1 ({e1}) must err less often than type3 ({e3})");
+        assert!(
+            e1 < e3,
+            "type1 ({e1}) must err less often than type3 ({e3})"
+        );
     }
 
     #[test]

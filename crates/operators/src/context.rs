@@ -202,7 +202,10 @@ mod tests {
 
     #[test]
     fn truncated_multiplier_quantizes_products() {
-        let mut ctx = OperatorCtx::new(None, Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()));
+        let mut ctx = OperatorCtx::new(
+            None,
+            Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
+        );
         let p = ctx.mul(0x1234, 0x0321);
         let exact = 0x1234i64 * 0x0321;
         assert_eq!(p, exact & !0xFFFF, "low 16 product bits truncated");

@@ -361,7 +361,11 @@ impl ApxOperator for Aam {
         // kept half: columns >= n
         let mut total = sum_terms(&self.cols, a, b, |c| c >= n);
         // compensation: OR of adjacent diagonal pairs, injected at weight n
-        let diag: Vec<u64> = self.diagonal_terms().iter().map(|t| t.value(a, b)).collect();
+        let diag: Vec<u64> = self
+            .diagonal_terms()
+            .iter()
+            .map(|t| t.value(a, b))
+            .collect();
         for pair in diag.chunks(2) {
             let or = pair.iter().copied().fold(0, |acc, v| acc | v);
             total += u128::from(or) << n;

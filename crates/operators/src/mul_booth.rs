@@ -250,7 +250,10 @@ impl MulBoothExact {
     /// Panics unless `4 <= n <= 24` and `n` is even.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((4..=24).contains(&n) && n % 2 == 0, "n must be even, 4..=24");
+        assert!(
+            (4..=24).contains(&n) && n.is_multiple_of(2),
+            "n must be even, 4..=24"
+        );
         MulBoothExact { n }
     }
 }
@@ -305,7 +308,10 @@ impl Abm {
     /// Panics unless `4 <= n <= 24` and `n` is even.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((4..=24).contains(&n) && n % 2 == 0, "n must be even, 4..=24");
+        assert!(
+            (4..=24).contains(&n) && n.is_multiple_of(2),
+            "n must be even, 4..=24"
+        );
         Abm { n }
     }
 
@@ -364,7 +370,10 @@ impl AbmUncorrected {
     /// Panics unless `4 <= n <= 24` and `n` is even.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((4..=24).contains(&n) && n % 2 == 0, "n must be even, 4..=24");
+        assert!(
+            (4..=24).contains(&n) && n.is_multiple_of(2),
+            "n must be even, 4..=24"
+        );
         AbmUncorrected { n }
     }
 

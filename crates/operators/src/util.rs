@@ -30,7 +30,7 @@ pub fn mask_u(bits: u32) -> u64 {
 #[must_use]
 #[inline]
 pub fn sext(v: u64, bits: u32) -> i64 {
-    assert!(bits >= 1 && bits <= 64, "bits out of range");
+    assert!((1..=64).contains(&bits), "bits out of range");
     let shift = 64 - bits;
     ((v << shift) as i64) >> shift
 }
@@ -72,7 +72,7 @@ pub(crate) fn bit(v: u64, i: u32) -> u64 {
 #[must_use]
 #[inline]
 pub fn centered_diff(reference: u64, approx: u64, bits: u32) -> i64 {
-    assert!(bits >= 1 && bits <= 63, "bits out of range");
+    assert!((1..=63).contains(&bits), "bits out of range");
     let m = mask_u(bits);
     let half = 1u64 << (bits - 1);
     let d = (reference.wrapping_sub(approx).wrapping_add(half)) & m;
@@ -87,7 +87,11 @@ mod tests {
     fn sext_roundtrips_with_to_u() {
         for bits in [1u32, 4, 8, 16, 32] {
             let lo = if bits == 1 { -1 } else { -(1i64 << (bits - 1)) };
-            let hi = if bits == 1 { 0 } else { (1i64 << (bits - 1)) - 1 };
+            let hi = if bits == 1 {
+                0
+            } else {
+                (1i64 << (bits - 1)) - 1
+            };
             for v in [lo, -1, 0, 1, hi] {
                 let v = v.clamp(lo, hi);
                 assert_eq!(sext(to_u(v, bits), bits), v, "bits={bits} v={v}");

@@ -5,16 +5,26 @@
 //!
 //! Run with: `cargo run --release --example image_pipeline`
 
-use apxperf::prelude::*;
 use apxperf::operators::{FaType, OperatorCtx};
+use apxperf::prelude::*;
 
 fn main() {
     let jpeg = JpegFixture::synthetic(128, 90, 11);
     let contexts = [
         ("exact", None),
-        ("ADDt(16,12)", Some(OperatorConfig::AddTrunc { n: 16, q: 12 })),
+        (
+            "ADDt(16,12)",
+            Some(OperatorConfig::AddTrunc { n: 16, q: 12 }),
+        ),
         ("ADDt(16,8)", Some(OperatorConfig::AddTrunc { n: 16, q: 8 })),
-        ("RCAApx(16,4,3)", Some(OperatorConfig::RcaApx { n: 16, m: 4, fa_type: FaType::Three })),
+        (
+            "RCAApx(16,4,3)",
+            Some(OperatorConfig::RcaApx {
+                n: 16,
+                m: 4,
+                fa_type: FaType::Three,
+            }),
+        ),
     ];
     println!("JPEG q90, 128x128 synthetic photo:");
     for (name, config) in contexts {
@@ -32,7 +42,10 @@ fn main() {
     println!("\nHEVC quarter-pel motion compensation, 128x128:");
     for (name, config) in [
         ("exact", None),
-        ("ADDt(16,10)", Some(OperatorConfig::AddTrunc { n: 16, q: 10 })),
+        (
+            "ADDt(16,10)",
+            Some(OperatorConfig::AddTrunc { n: 16, q: 10 }),
+        ),
         ("ETAIV(16,4)", Some(OperatorConfig::EtaIv { n: 16, x: 4 })),
     ] {
         let mut ctx = OperatorCtx::new(config.map(|c| c.build()), None);

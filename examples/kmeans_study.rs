@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example kmeans_study`
 
-use apxperf::prelude::*;
 use apxperf::operators::OperatorCtx;
+use apxperf::prelude::*;
 
 fn main() {
     let fixture = KmeansFixture::synthetic(10, 500, 42);
@@ -18,10 +18,7 @@ fn main() {
 
     println!("\ntruncated-adder width sweep:");
     for q in (4..=15).rev() {
-        let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::AddTrunc { n: 16, q }.build()),
-            None,
-        );
+        let mut ctx = OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
         let r = fixture.run(&mut ctx);
         let bar = "#".repeat((r.success_rate * 40.0) as usize);
         println!("  ADDt(16,{q:>2}): {:>6.2}% {bar}", r.success_rate * 100.0);
@@ -37,6 +34,10 @@ fn main() {
     ] {
         let mut ctx = OperatorCtx::new(None, Some(config.build()));
         let r = fixture.run(&mut ctx);
-        println!("  {:<12} {:>6.2}%", config.to_string(), r.success_rate * 100.0);
+        println!(
+            "  {:<12} {:>6.2}%",
+            config.to_string(),
+            r.success_rate * 100.0
+        );
     }
 }

@@ -47,10 +47,19 @@ fn main() {
         let op = config.build();
         let stats = chz.error_stats(op.as_ref());
         println!("\n{} details:", op.name());
-        println!("  bias {:.3}, MAE {:.3}, error rate {:.4}", stats.mean_error(), stats.mae(), stats.error_rate());
-        let pber: Vec<String> = (0..16).map(|k| format!("{:.2}", stats.positional_ber(k))).collect();
+        println!(
+            "  bias {:.3}, MAE {:.3}, error rate {:.4}",
+            stats.mean_error(),
+            stats.mae(),
+            stats.error_rate()
+        );
+        let pber: Vec<String> = (0..16)
+            .map(|k| format!("{:.2}", stats.positional_ber(k)))
+            .collect();
         println!("  positional BER (LSB..MSB): {}", pber.join(" "));
-        let ap: Vec<String> = (0..8).map(|k| format!("{:.3}", stats.acceptance_probability_pow2(k))).collect();
+        let ap: Vec<String> = (0..8)
+            .map(|k| format!("{:.3}", stats.acceptance_probability_pow2(k)))
+            .collect();
         println!("  AP at MAA=2^k, k=0..7:     {}", ap.join(" "));
     }
 }

@@ -1,8 +1,8 @@
 //! End-to-end integration: every crate of the workspace participates —
 //! fixture → operators → netlist/cells → metrics → apps → core.
 
-use apxperf::prelude::*;
 use apxperf::operators::OperatorCtx;
+use apxperf::prelude::*;
 
 #[test]
 fn full_characterization_pipeline_runs_and_fuses() {

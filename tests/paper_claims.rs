@@ -2,8 +2,8 @@
 //! "shape" checks of the reproduction: who wins, in which metric, and by
 //! roughly what kind of margin.
 
-use apxperf::prelude::*;
 use apxperf::operators::{FaType, OperatorCtx};
+use apxperf::prelude::*;
 
 fn quick_chz(lib: &Library) -> Characterizer<'_> {
     Characterizer::new(lib).with_settings(CharacterizerSettings {
@@ -26,7 +26,11 @@ fn fig3_shape_fxp_dominates_mse_vs_power() {
     // approximate adders at comparable power budgets
     for approx in [
         OperatorConfig::EtaIv { n: 16, x: 4 },
-        OperatorConfig::RcaApx { n: 16, m: 8, fa_type: FaType::Two },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 8,
+            fa_type: FaType::Two,
+        },
     ] {
         let a = chz.characterize(&approx);
         assert!(

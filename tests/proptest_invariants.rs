@@ -1,22 +1,20 @@
 //! Property-based tests over the cross-crate invariants.
 
-use apxperf::operators::{
-    centered_diff, mask_u, sext, to_u, ApxOperator, FaType, OperatorConfig,
-};
+use apxperf::operators::{centered_diff, mask_u, sext, to_u, FaType, OperatorConfig};
 use proptest::prelude::*;
 
 fn arb_adder_config() -> impl Strategy<Value = OperatorConfig> {
     prop_oneof![
         (2u32..=10).prop_map(|n| OperatorConfig::AddExact { n }),
-        (2u32..=10).prop_flat_map(|n| (Just(n), 1..=n)).prop_map(|(n, q)| {
-            OperatorConfig::AddTrunc { n, q }
-        }),
-        (3u32..=10).prop_flat_map(|n| (Just(n), 1..n)).prop_map(|(n, q)| {
-            OperatorConfig::AddRound { n, q }
-        }),
-        (2u32..=10).prop_flat_map(|n| (Just(n), 1..=n)).prop_map(|(n, p)| {
-            OperatorConfig::Aca { n, p }
-        }),
+        (2u32..=10)
+            .prop_flat_map(|n| (Just(n), 1..=n))
+            .prop_map(|(n, q)| { OperatorConfig::AddTrunc { n, q } }),
+        (3u32..=10)
+            .prop_flat_map(|n| (Just(n), 1..n))
+            .prop_map(|(n, q)| { OperatorConfig::AddRound { n, q } }),
+        (2u32..=10)
+            .prop_flat_map(|n| (Just(n), 1..=n))
+            .prop_map(|(n, p)| { OperatorConfig::Aca { n, p } }),
         (2u32..=10)
             .prop_flat_map(|n| {
                 let divisors: Vec<u32> = (1..=n).filter(|x| n % x == 0).collect();
@@ -36,9 +34,9 @@ fn arb_adder_config() -> impl Strategy<Value = OperatorConfig> {
 fn arb_mult_config() -> impl Strategy<Value = OperatorConfig> {
     prop_oneof![
         (2u32..=8).prop_map(|n| OperatorConfig::MulExact { n }),
-        (2u32..=8).prop_flat_map(|n| (Just(n), 1..=2 * n)).prop_map(|(n, q)| {
-            OperatorConfig::MulTrunc { n, q }
-        }),
+        (2u32..=8)
+            .prop_flat_map(|n| (Just(n), 1..=2 * n))
+            .prop_map(|(n, q)| { OperatorConfig::MulTrunc { n, q } }),
         (2u32..=4).prop_map(|k| OperatorConfig::MulBooth { n: 2 * k }),
         (4u32..=8).prop_map(|n| OperatorConfig::Aam { n }),
         (2u32..=4).prop_map(|k| OperatorConfig::Abm { n: 2 * k }),

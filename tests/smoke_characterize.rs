@@ -1,0 +1,50 @@
+//! CI smoke test: the core APXPERF equivalence claim.
+//!
+//! `Characterizer::characterize` cross-verifies each operator's
+//! gate-level netlist against its bit-accurate functional model (the
+//! paper's "Verification" box, standing in for the original C-vs-VHDL
+//! equivalence check). This test pins that property for one carefully
+//! sized fixed-point config and one approximate config, with settings
+//! small enough to run in seconds.
+
+use apxperf::prelude::*;
+
+fn smoke_characterizer(lib: &Library) -> Characterizer<'_> {
+    Characterizer::new(lib).with_settings(CharacterizerSettings {
+        error_samples: 2_000,
+        verify_samples: 400,
+        exhaustive_up_to_bits: 12,
+        power_vectors: 100,
+        seed: 0xC1,
+    })
+}
+
+#[test]
+fn fxp_operator_cross_verifies_and_reports() {
+    let lib = Library::fdsoi28();
+    let mut chz = smoke_characterizer(&lib);
+    let report = chz.characterize(&OperatorConfig::AddTrunc { n: 16, q: 12 });
+    assert!(
+        report.verified,
+        "FxP netlist must be equivalent to the functional model"
+    );
+    // Truncation drops 4 LSBs: error is bounded, biased positive, nonzero.
+    assert!(report.error.error_rate > 0.0);
+    assert!(report.error.mean_error > 0.0, "truncation bias is positive");
+    assert!(report.hw.area_um2 > 0.0 && report.hw.power_mw > 0.0);
+}
+
+#[test]
+fn approximate_operator_cross_verifies_and_reports() {
+    let lib = Library::fdsoi28();
+    let mut chz = smoke_characterizer(&lib);
+    let report = chz.characterize(&OperatorConfig::Aca { n: 16, p: 4 });
+    assert!(
+        report.verified,
+        "approximate netlist must be equivalent to its own functional model"
+    );
+    // Approximate ≠ broken: the functional model departs from the exact
+    // reference, but the netlist matches the functional model exactly.
+    assert!(report.error.error_rate > 0.0);
+    assert!(report.hw.area_um2 > 0.0 && report.hw.power_mw > 0.0);
+}

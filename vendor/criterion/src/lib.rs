@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of `criterion` used by the workspace
+//! benches: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (for bench targets
+//! with `harness = false`).
+//!
+//! Measurement is deliberately simple — a warm-up pass, then an adaptive
+//! iteration count targeting ~100 ms of wall time per benchmark, with
+//! the mean ns/iter printed to stdout. There is no statistical analysis,
+//! HTML report, or baseline comparison; the value of this crate is that
+//! `cargo bench` compiles, runs, and produces stable, comparable numbers
+//! without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The shim runs every batch size the same way; the variants exist for
+/// upstream source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream amortizes over large batches.
+    SmallInput,
+    /// Large setup output; upstream uses small batches.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    /// Measured mean time per iteration, filled by `iter*`.
+    elapsed_per_iter: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            target,
+            elapsed_per_iter: None,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate over a geometric ramp.
+        let mut probe_iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..probe_iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || probe_iters >= 1 << 20 {
+                break elapsed / u32::try_from(probe_iters).unwrap_or(u32::MAX);
+            }
+            probe_iters *= 4;
+        };
+        let total = if per_iter.is_zero() {
+            1 << 22
+        } else {
+            (self.target.as_nanos() / per_iter.as_nanos().max(1)).clamp(10, 1 << 22) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = Some(start.elapsed() / u32::try_from(total).unwrap_or(u32::MAX));
+        self.iters = total;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Probe once to estimate the routine cost.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed();
+        let total = if per_iter.is_zero() {
+            10_000
+        } else {
+            (self.target.as_nanos() / per_iter.as_nanos().max(1)).clamp(10, 100_000) as u64
+        };
+        let inputs: Vec<I> = (0..total).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed_per_iter = Some(start.elapsed() / u32::try_from(total).unwrap_or(u32::MAX));
+        self.iters = total;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor the benchmark-name filter cargo bench forwards, ignore
+        // harness flags like --bench.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            target: Duration::from_millis(100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut bencher = Bencher::new(self.target);
+        f(&mut bencher);
+        match bencher.elapsed_per_iter {
+            Some(t) => println!(
+                "{id:<40} time: {:>12}/iter  ({} iterations)",
+                format_duration(t),
+                bencher.iters
+            ),
+            None => println!("{id:<40} (no measurement collected)"),
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group of benchmarks (IDs are prefixed with the group name).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,512 @@
+//! Offline stand-in for the subset of `serde` used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a value-model serialization framework with the same
+//! *user-facing* surface the workspace consumes: `Serialize` /
+//! `Deserialize` traits plus `#[derive(Serialize, Deserialize)]` (from
+//! the sibling `serde_derive` proc-macro crate), consumed by the
+//! vendored `serde_json`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * serialization goes through an owned [`Value`] tree instead of the
+//!   upstream visitor architecture;
+//! * enums use the upstream *externally tagged* representation (unit
+//!   variants as strings, payload variants as single-key objects), so
+//!   the JSON produced is byte-compatible with upstream for the types
+//!   in this workspace;
+//! * a **missing** field is always an error (the derive cannot see
+//!   field types, so `Option` fields are not implicitly defaulted —
+//!   this crate always writes every field, so round-trips are safe);
+//! * non-finite floats serialize to `null` (like `serde_json`) and
+//!   `null` deserializes to `f64::NEG_INFINITY` (the one non-finite
+//!   value this workspace produces, for zero-error MSE in dB).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (always `< 0`; non-negative integers use
+    /// [`Value::UInt`]).
+    Int(i128),
+    /// Non-negative integer.
+    UInt(u128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, or `None` for any other variant.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None` for any other variant.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None` for any other variant.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `key` in a derived struct's object and deserializes it.
+/// Used by generated `Deserialize` impls.
+///
+/// # Errors
+/// Returns [`Error`] if the key is missing or its value mismatches.
+pub fn from_field<T: Deserialize>(
+    fields: &[(String, Value)],
+    key: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    let (_, v) = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}` for `{type_name}`")))?;
+    T::from_value(v)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if wide < 0 {
+                    Value::Int(wide)
+                } else {
+                    Value::UInt(wide as u128)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let err = || {
+                    Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                };
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| err()),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::UInt(u) => Ok(*u),
+            Value::Int(i) => u128::try_from(*i)
+                .map_err(|_| Error::custom("expected u128, found negative integer")),
+            other => Err(Error::custom(format!(
+                "expected u128, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        if *self < 0 {
+            Value::Int(*self)
+        } else {
+            Value::UInt(*self as u128)
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Int(i) => Ok(*i),
+            Value::UInt(u) => {
+                i128::try_from(*u).map_err(|_| Error::custom("integer out of range for i128"))
+            }
+            other => Err(Error::custom(format!(
+                "expected i128, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // `serde_json` writes non-finite floats as null; the
+                    // only non-finite value this workspace produces is
+                    // -inf (MSE of an exact operator, in dB).
+                    Value::Null => Ok(<$t>::NEG_INFINITY),
+                    other => Err(Error::custom(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, found {}", value.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string for char")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        // length checked above, so the conversion cannot fail
+        Ok(<[T; N]>::try_from(parsed).expect("length checked"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected tuple array, found {}", value.kind()))
+                })?;
+                let expected = [$($idx,)+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Converts a serialized map key into the JSON object-key string.
+/// Mirrors `serde_json`: string keys pass through, integer keys are
+/// stringified, anything else is rejected.
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::String(s) => Ok(s.clone()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must serialize to a string or integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Converts a JSON object-key string back into a [`Value`] the key type
+/// can deserialize from: tries the plain string first, then an integer
+/// reparse (for integer-keyed maps).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Some(stripped) = key.strip_prefix('-') {
+        if let Ok(i) = stripped.parse::<u128>() {
+            return K::from_value(&Value::Int(-(i as i128)));
+        }
+    } else if let Ok(u) = key.parse::<u128>() {
+        return K::from_value(&Value::UInt(u));
+    }
+    Err(Error::custom(format!("cannot deserialize map key `{key}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value())
+                        .expect("BTreeMap key must serialize to a string or integer");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value())
+                        .expect("HashMap key must serialize to a string or integer");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

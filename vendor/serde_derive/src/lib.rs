@@ -1,0 +1,420 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde`
+//! stand-in.
+//!
+//! The build environment has no access to crates.io, so this macro is
+//! written against `proc_macro` alone — no `syn`/`quote`. It parses the
+//! item declaration by hand (attributes, visibility, generics are
+//! rejected, named/tuple/unit structs, enums with unit/tuple/named
+//! variants) and emits impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` value-model traits, using upstream's externally
+//! tagged enum representation so the resulting JSON matches upstream
+//! `serde_json` for the types in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a field-bearing position looks like after parsing.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_group(tt: &TokenTree, delim: Delimiter) -> bool {
+    matches!(tt, TokenTree::Group(g) if g.delimiter() == delim)
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len()
+        && is_punct(&tokens[*i], '#')
+        && is_group(&tokens[*i + 1], Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() && is_group(&tokens[*i], Delimiter::Parenthesis) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match &tokens[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected {what}, found `{other}`"),
+    }
+}
+
+/// Advances past a type (or discriminant expression), stopping after the
+/// top-level `,` that terminates it. Angle brackets are tracked by depth;
+/// `()`/`[]`/`{}` arrive as atomic groups.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i, "field name");
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_until_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    arity += 1;
+                    pending = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let shape = if i < tokens.len() && is_group(&tokens[i], Delimiter::Parenthesis) {
+            let TokenTree::Group(g) = &tokens[i] else {
+                unreachable!()
+            };
+            i += 1;
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        } else if i < tokens.len() && is_group(&tokens[i], Delimiter::Brace) {
+            let TokenTree::Group(g) = &tokens[i] else {
+                unreachable!()
+            };
+            i += 1;
+            Shape::Named(parse_named_fields(g.stream()))
+        } else {
+            Shape::Unit
+        };
+        // skip an explicit discriminant, if any, through the separating `,`
+        skip_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    assert!(
+        !(i < tokens.len() && is_punct(&tokens[i], '<')),
+        "serde_derive: generic type `{name}` is not supported by the vendored derive"
+    );
+    match keyword.as_str() {
+        "struct" => {
+            let shape = if i < tokens.len() && is_group(&tokens[i], Delimiter::Brace) {
+                let TokenTree::Group(g) = &tokens[i] else {
+                    unreachable!()
+                };
+                Shape::Named(parse_named_fields(g.stream()))
+            } else if i < tokens.len() && is_group(&tokens[i], Delimiter::Parenthesis) {
+                let TokenTree::Group(g) = &tokens[i] else {
+                    unreachable!()
+                };
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            } else {
+                Shape::Unit
+            };
+            Input::Struct { name, shape }
+        }
+        "enum" => {
+            assert!(
+                i < tokens.len() && is_group(&tokens[i], Delimiter::Brace),
+                "serde_derive: expected enum body for `{name}`"
+            );
+            let TokenTree::Group(g) = &tokens[i] else {
+                unreachable!()
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .expect("serde_derive: generated code failed to parse")
+}
+
+fn string_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn serialize_named_body(fields: &[String], accessor: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({}, ::serde::Serialize::to_value({accessor}{f})),",
+                string_lit(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.concat())
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, shape } => {
+            let expr = match shape {
+                Shape::Unit => "::serde::Value::Null".to_owned(),
+                Shape::Named(fields) => serialize_named_body(&fields, "&self."),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.concat())
+                }
+            };
+            format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {expr} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                let tag = string_lit(vname);
+                match &v.shape {
+                    Shape::Unit => {
+                        arms += &format!("{name}::{vname} => ::serde::Value::String({tag}),");
+                    }
+                    Shape::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                               ({tag}, ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                               ({tag}, ::serde::Value::Array(::std::vec![{}]))]),",
+                            binders.join(", "),
+                            items.concat()
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let payload = serialize_named_body(fields, "");
+                        arms += &format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                               ({tag}, {payload})]),",
+                            fields.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    };
+    emit(body)
+}
+
+fn deserialize_named_fields(type_label: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::from_field({source}, \"{f}\", \"{type_label}\")?,"))
+        .collect();
+    inits.concat()
+}
+
+fn deserialize_tuple_items(n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&{source}[{k}])?,"))
+        .collect();
+    items.concat()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, shape } => {
+            let expr = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Named(fields) => format!(
+                    "let __fields = __value.as_object().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected object for `{name}`\"))?; \
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    deserialize_named_fields(&name, &fields, "__fields")
+                ),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                ),
+                Shape::Tuple(n) => format!(
+                    "let __items = __value.as_array().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected array for `{name}`\"))?; \
+                     if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                       ::serde::Error::custom(\"wrong tuple length for `{name}`\")); }} \
+                     ::std::result::Result::Ok({name}({}))",
+                    deserialize_tuple_items(n, "__items")
+                ),
+            };
+            format!(
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__value: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ {expr} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms +=
+                            &format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),");
+                    }
+                    Shape::Tuple(1) => {
+                        payload_arms += &format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                               ::serde::Deserialize::from_value(__payload)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        payload_arms += &format!(
+                            "\"{vname}\" => {{ \
+                               let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for `{name}::{vname}`\"))?; \
+                               if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple length for `{name}::{vname}`\")); }} \
+                               ::std::result::Result::Ok({name}::{vname}({})) }},",
+                            deserialize_tuple_items(*n, "__items")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let label = format!("{name}::{vname}");
+                        payload_arms += &format!(
+                            "\"{vname}\" => {{ \
+                               let __fields = __payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for `{label}`\"))?; \
+                               ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                            deserialize_named_fields(&label, fields, "__fields")
+                        );
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(__value: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     match __value {{ \
+                       ::serde::Value::String(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                           ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))), \
+                       }}, \
+                       ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ \
+                         let (__tag, __payload) = &__fields[0]; \
+                         match __tag.as_str() {{ \
+                           {payload_arms} \
+                           __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))), \
+                         }} \
+                       }}, \
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected `{name}` variant, found {{}}\", __other.kind()))), \
+                     }} \
+                   }} \
+                 }}"
+            )
+        }
+    };
+    emit(body)
+}

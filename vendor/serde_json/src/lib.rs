@@ -1,0 +1,470 @@
+//! Offline stand-in for the subset of `serde_json` used by this
+//! workspace: [`to_string`], [`to_string_pretty`], [`from_str`] and the
+//! [`Result`]/[`Error`] pair, over the vendored `serde` value model.
+//!
+//! Output format notes:
+//!
+//! * floats print through Rust's shortest-round-trip `Display`, so
+//!   parsing the emitted text recovers the exact bit pattern;
+//! * non-finite floats serialize as `null` (matching upstream);
+//! * objects preserve insertion order; pretty output indents by two
+//!   spaces (matching upstream).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------- writing
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // Rust's Display is shortest-round-trip and never uses exponent
+        // notation, so this is always valid JSON that parses back exactly.
+        out.push_str(&format!("{f}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (k, (key, val)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (k, (key, val)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+/// Infallible for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_whitespace();
+        match self
+            .peek()
+            .ok_or_else(|| self.error("unexpected end of input"))?
+        {
+            b'n' => {
+                if self.consume_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.consume_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.consume_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Value::String),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(self.error(&format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => out.push(self.parse_unicode_escape()?),
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(chunk).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u16::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char> {
+        let high = self.parse_hex4()?;
+        if (0xD800..=0xDBFF).contains(&high) {
+            // surrogate pair: expect a following \uXXXX low surrogate
+            if !self.consume_literal("\\u") {
+                return Err(self.error("unpaired surrogate"));
+            }
+            let low = self.parse_hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((u32::from(high) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(u32::from(high)).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(u) = digits.parse::<u128>() {
+                    if u == 0 {
+                        return Ok(Value::Float(-0.0)); // preserve the sign of -0
+                    }
+                    if let Ok(i) = i128::try_from(u) {
+                        return Ok(Value::Int(-i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u128>() {
+                return Ok(Value::UInt(u));
+            }
+            // fall through: magnitude beyond 128 bits, degrade to f64
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+/// Parses a value of type `T` from JSON text.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON, trailing input, or a shape
+/// mismatch against `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let v: f64 = from_str(&to_string(&1.25f64).unwrap()).unwrap();
+        assert_eq!(v, 1.25);
+        let v: i64 = from_str("-42").unwrap();
+        assert_eq!(v, -42);
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let v: String = from_str("\"a\\n\\u0041\"").unwrap();
+        assert_eq!(v, "a\nA");
+    }
+
+    #[test]
+    fn float_shortest_roundtrip_is_exact() {
+        for &x in &[0.1f64, 1.0 / 3.0, 6.02e23, 5e-324, 1e300, -0.0] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_infinite() && back < 0.0);
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v: Vec<u64> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
