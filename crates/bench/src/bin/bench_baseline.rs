@@ -1,0 +1,165 @@
+//! Bench baseline — a reduced-sample characterization sweep that times
+//! every pipeline stage and emits `BENCH_baseline.json` (samples/sec per
+//! stage), so CI can record the performance trajectory PR over PR.
+//!
+//! Stages:
+//!
+//! 1. `error_sampling` — sharded, batched functional error loop over a
+//!    spread of adder/multiplier configs (samples = error samples drawn).
+//! 2. `verification` — sharded random netlist-vs-model equivalence on a
+//!    16-bit adder (samples = vectors checked).
+//! 3. `power_vectors` — sharded event-driven power estimation on the same
+//!    netlist (samples = vectors applied).
+//! 4. `fig34_adder_sweep` — the full Figs. 3/4 16-bit adder family
+//!    through `characterize_all` (samples = total error samples; the
+//!    stage also covers verification + power for all 97 configs).
+//!
+//! Extra knobs: `--out PATH` (default `BENCH_baseline.json`).
+
+use apx_bench::{engine, fmt, print_table, settings, Options};
+use apx_cells::Library;
+use apx_core::{sweeps, Characterizer};
+use apx_netlist::power::{self, PowerSettings};
+use apx_netlist::verify;
+use apx_operators::{ApxOperator, OperatorConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed stage of the baseline run.
+#[derive(Debug, Serialize)]
+struct StageRecord {
+    stage: String,
+    samples: u64,
+    seconds: f64,
+    samples_per_sec: f64,
+}
+
+/// The whole `BENCH_baseline.json` document.
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: String,
+    threads: usize,
+    error_samples: usize,
+    power_vectors: usize,
+    seed: u64,
+    stages: Vec<StageRecord>,
+    total_seconds: f64,
+}
+
+fn record(stages: &mut Vec<StageRecord>, stage: &str, samples: u64, start: Instant) {
+    let seconds = start.elapsed().as_secs_f64();
+    stages.push(StageRecord {
+        stage: stage.to_owned(),
+        samples,
+        seconds,
+        samples_per_sec: samples as f64 / seconds.max(1e-9),
+    });
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let lib = Library::fdsoi28();
+    // reduced-sample defaults: this is a trend recorder, not a repro run
+    let mut settings = settings(&opts);
+    settings.error_samples = opts.get_usize("samples", 20_000);
+    settings.power_vectors = opts.get_usize("vectors", 300);
+    let engine = engine(&opts);
+    let mut stages = Vec::new();
+    let run_start = Instant::now();
+
+    // 1. error sampling over a spread of operator families
+    let error_configs = [
+        OperatorConfig::AddTrunc { n: 16, q: 10 },
+        OperatorConfig::Aca { n: 16, p: 8 },
+        OperatorConfig::EtaIv { n: 16, x: 4 },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: apx_operators::FaType::Three,
+        },
+        OperatorConfig::MulTrunc { n: 16, q: 16 },
+        OperatorConfig::Abm { n: 16 },
+    ];
+    let chz = Characterizer::new(&lib)
+        .with_settings(settings)
+        .with_engine(engine.clone());
+    let ops: Vec<Box<dyn ApxOperator>> = error_configs.iter().map(OperatorConfig::build).collect();
+    let start = Instant::now();
+    let mut drawn = 0u64;
+    for op in &ops {
+        drawn += chz.error_stats(op.as_ref()).samples();
+    }
+    record(&mut stages, "error_sampling", drawn, start);
+
+    // 2. random equivalence verification on a 16-bit ACA netlist
+    let op = OperatorConfig::Aca { n: 16, p: 8 }.build();
+    let nl = op.netlist();
+    let verify_samples = 10 * settings.error_samples / 4;
+    let start = Instant::now();
+    verify::verify_random2_with(&nl, verify_samples, settings.seed, &engine, |a, b| {
+        op.eval_u(a, b)
+    })
+    .expect("ACA netlist must match its functional model");
+    record(&mut stages, "verification", verify_samples as u64, start);
+
+    // 3. event-driven power vectors on the same netlist
+    let start = Instant::now();
+    let report = power::estimate_with(
+        &nl,
+        &lib,
+        PowerSettings {
+            vectors: settings.power_vectors,
+            seed: settings.seed,
+        },
+        &engine,
+    );
+    assert!(report.dynamic_power_mw > 0.0);
+    record(
+        &mut stages,
+        "power_vectors",
+        settings.power_vectors as u64,
+        start,
+    );
+
+    // 4. the reduced-sample Figs. 3/4 sweep, end to end
+    let configs = sweeps::all_adders_16bit();
+    let start = Instant::now();
+    let reports = sweeps::characterize_all(&lib, settings, &configs, &engine);
+    let swept: u64 = reports.iter().map(|r| r.error.samples).sum();
+    record(&mut stages, "fig34_adder_sweep", swept, start);
+    assert!(reports.iter().all(|r| r.verified));
+
+    let baseline = Baseline {
+        schema: "apxperf-bench-baseline/v1".to_owned(),
+        threads: engine.threads(),
+        error_samples: settings.error_samples,
+        power_vectors: settings.power_vectors,
+        seed: settings.seed,
+        stages,
+        total_seconds: run_start.elapsed().as_secs_f64(),
+    };
+
+    println!(
+        "BENCH baseline: {} threads, {} error samples, {} power vectors",
+        baseline.threads, baseline.error_samples, baseline.power_vectors
+    );
+    let rows: Vec<Vec<String>> = baseline
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.stage.clone(),
+                s.samples.to_string(),
+                fmt(s.seconds, 3),
+                fmt(s.samples_per_sec, 0),
+            ]
+        })
+        .collect();
+    print_table(&["stage", "samples", "seconds", "samples/sec"], &rows);
+
+    let out = opts.get_str("out", "BENCH_baseline.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!();
+    println!("wrote {out}");
+}

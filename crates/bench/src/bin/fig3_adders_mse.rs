@@ -6,28 +6,31 @@
 //! are faster but cannot reach high accuracy; ACA/RCAApx can undercut
 //! FxP energy slightly at moderate accuracy.
 
-use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_bench::{engine, family, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::sweeps;
 
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
-    let mut rows = Vec::new();
-    for config in sweeps::all_adders_16bit() {
-        let r = chz.characterize(&config);
-        rows.push(vec![
-            r.name.clone(),
-            family(&config).to_owned(),
-            fmt(r.error.mse_db, 2),
-            fmt(r.hw.power_mw, 5),
-            fmt(r.hw.delay_ns, 3),
-            fmt(r.hw.pdp_pj * 1e3, 3),
-            fmt(r.hw.area_um2, 1),
-            r.verified.to_string(),
-        ]);
-    }
+    let configs = sweeps::all_adders_16bit();
+    let reports = sweeps::characterize_all(&lib, settings(&opts), &configs, &engine(&opts));
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&reports)
+        .map(|(config, r)| {
+            vec![
+                r.name.clone(),
+                family(config).to_owned(),
+                fmt(r.error.mse_db, 2),
+                fmt(r.hw.power_mw, 5),
+                fmt(r.hw.delay_ns, 3),
+                fmt(r.hw.pdp_pj * 1e3, 3),
+                fmt(r.hw.area_um2, 1),
+                r.verified.to_string(),
+            ]
+        })
+        .collect();
     println!("FIG3: 16-bit adders, MSE (dB, full-scale) vs hardware cost");
     print_table(
         &[

@@ -8,24 +8,26 @@
 
 use apx_apps::fft::FftFixture;
 use apx_apps::OperatorCtx;
-use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_bench::{engine, family, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::{appenergy, sweeps};
 
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let fixture = FftFixture::radix2_32(opts.get_u64("seed", 0xF17));
+    let configs = sweeps::all_adders_16bit();
+    // energy models (two characterizations per config) in parallel across
+    // configs; the lightweight fixture runs follow serially
+    let models = appenergy::models_for_adders(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in sweeps::all_adders_16bit() {
-        let model = appenergy::model_for_adder(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut ctx = OperatorCtx::new(Some(config.build()), None);
         let result = fixture.run(&mut ctx);
         let energy_pj = model.energy_pj(result.counts);
         rows.push(vec![
             config.to_string(),
-            family(&config).to_owned(),
+            family(config).to_owned(),
             fmt(result.psnr_db, 2),
             fmt(energy_pj, 3),
             fmt(model.adder_pdp_pj * 1e3, 3),

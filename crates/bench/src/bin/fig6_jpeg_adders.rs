@@ -7,19 +7,19 @@
 
 use apx_apps::jpeg::JpegFixture;
 use apx_apps::OperatorCtx;
-use apx_bench::{characterizer, family, fmt, print_table, Options};
+use apx_bench::{engine, family, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::{appenergy, sweeps};
 
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let size = opts.get_usize("size", 128);
     let fixture = JpegFixture::synthetic(size, 90, opts.get_u64("seed", 0x1E7A));
+    let configs = sweeps::all_adders_16bit();
+    let models = appenergy::models_for_adders(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in sweeps::all_adders_16bit() {
-        let model = appenergy::model_for_adder(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut ctx = OperatorCtx::new(Some(config.build()), None);
         let (result, mssim) = fixture.run(&mut ctx);
         // per-block energy keeps numbers readable
@@ -27,7 +27,7 @@ fn main() {
         let energy_pj = model.energy_pj(result.counts) / blocks as f64;
         rows.push(vec![
             config.to_string(),
-            family(&config).to_owned(),
+            family(config).to_owned(),
             fmt(mssim, 4),
             fmt(energy_pj, 3),
             result.bytes.len().to_string(),

@@ -8,28 +8,30 @@
 //!   AAM(16):     0.359 mW, 1.23 ns, 0.442 pJ, 665 µm², −87.9 dB, 27.7 %
 //!   ABM(16):     0.446 mW, 0.57 ns, 0.446 pJ, 879 µm², −9.63 dB, 27.9 %
 
-use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_bench::{engine, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::sweeps;
 
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
-    let mut rows = Vec::new();
-    for config in sweeps::multipliers_16bit() {
-        let r = chz.characterize(&config);
-        rows.push(vec![
-            r.name.clone(),
-            fmt(r.hw.power_mw, 4),
-            fmt(r.hw.delay_ns, 2),
-            fmt(r.hw.pdp_pj, 3),
-            fmt(r.hw.area_um2, 1),
-            fmt(r.error.mse_db, 2),
-            fmt(r.error.ber * 100.0, 1),
-            r.verified.to_string(),
-        ]);
-    }
+    let configs = sweeps::multipliers_16bit();
+    let reports = sweeps::characterize_all(&lib, settings(&opts), &configs, &engine(&opts));
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                fmt(r.hw.power_mw, 4),
+                fmt(r.hw.delay_ns, 2),
+                fmt(r.hw.pdp_pj, 3),
+                fmt(r.hw.area_um2, 1),
+                fmt(r.error.mse_db, 2),
+                fmt(r.error.ber * 100.0, 1),
+                r.verified.to_string(),
+            ]
+        })
+        .collect();
     println!("TABLE I: 16-bit fixed-width multipliers");
     print_table(
         &[

@@ -6,18 +6,18 @@
 
 use apx_apps::fft::FftFixture;
 use apx_apps::OperatorCtx;
-use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_bench::{engine, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::{appenergy, sweeps};
 
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let fixture = FftFixture::radix2_32(opts.get_u64("seed", 0xF17));
+    let configs = sweeps::multipliers_16bit();
+    let models = appenergy::models_for_multipliers(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in sweeps::multipliers_16bit() {
-        let model = appenergy::model_for_multiplier(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut ctx = OperatorCtx::new(None, Some(config.build()));
         let result = fixture.run(&mut ctx);
         rows.push(vec![

@@ -9,7 +9,7 @@
 
 use apx_apps::hevc::{ops_per_fractional_pixel, McFixture};
 use apx_apps::OperatorCtx;
-use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_bench::{engine, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::appenergy;
 use apx_operators::{FaType, OperatorConfig};
@@ -17,7 +17,6 @@ use apx_operators::{FaType, OperatorConfig};
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let size = opts.get_usize("size", 128);
     let fixture = McFixture::synthetic(size, opts.get_u64("seed", 0xEC));
     let configs = [
@@ -31,9 +30,9 @@ fn main() {
         },
     ];
     let per_pixel = ops_per_fractional_pixel();
+    let models = appenergy::models_for_adders(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in configs {
-        let model = appenergy::model_for_adder(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut ctx = OperatorCtx::new(Some(config.build()), None);
         let (_, mssim) = fixture.run(&mut ctx);
         let total = model.energy_pj(per_pixel);

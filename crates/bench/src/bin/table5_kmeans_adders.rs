@@ -10,7 +10,7 @@
 
 use apx_apps::kmeans::KmeansFixture;
 use apx_apps::{OpCounts, OperatorCtx};
-use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_bench::{engine, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::appenergy;
 use apx_operators::{FaType, OperatorConfig};
@@ -18,7 +18,6 @@ use apx_operators::{FaType, OperatorConfig};
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let sets = opts.get_usize("sets", 5);
     let pts = opts.get_usize("points", 500);
     let fixtures: Vec<KmeansFixture> = (0..sets)
@@ -43,9 +42,9 @@ fn main() {
         },
     ];
     let per_distance = OpCounts { adds: 3, muls: 2 };
+    let models = appenergy::models_for_adders(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in configs {
-        let model = appenergy::model_for_adder(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut success = 0.0;
         for fixture in &fixtures {
             let mut ctx = OperatorCtx::new(Some(config.build()), None);

@@ -7,7 +7,7 @@
 
 use apx_apps::kmeans::KmeansFixture;
 use apx_apps::{OpCounts, OperatorCtx};
-use apx_bench::{characterizer, fmt, print_table, Options};
+use apx_bench::{engine, fmt, print_table, settings, Options};
 use apx_cells::Library;
 use apx_core::appenergy;
 use apx_operators::OperatorConfig;
@@ -15,7 +15,6 @@ use apx_operators::OperatorConfig;
 fn main() {
     let opts = Options::from_env();
     let lib = Library::fdsoi28();
-    let mut chz = characterizer(&lib, &opts);
     let sets = opts.get_usize("sets", 5);
     let pts = opts.get_usize("points", 500);
     let fixtures: Vec<KmeansFixture> = (0..sets)
@@ -29,9 +28,9 @@ fn main() {
         OperatorConfig::MulTrunc { n: 16, q: 4 },
     ];
     let per_distance = OpCounts { adds: 3, muls: 2 };
+    let models = appenergy::models_for_multipliers(&lib, settings(&opts), &configs, &engine(&opts));
     let mut rows = Vec::new();
-    for config in configs {
-        let model = appenergy::model_for_multiplier(&mut chz, &config);
+    for (config, model) in configs.iter().zip(&models) {
         let mut success = 0.0;
         for fixture in &fixtures {
             let mut ctx = OperatorCtx::new(None, Some(config.build()));

@@ -9,12 +9,15 @@
 //! * `--vectors N` — gate-level power vectors (default 1 500)
 //! * `--seed N` — master seed
 //! * `--size N` — workload size where applicable (image edge, FFT length)
+//! * `--threads N` — engine worker count (default: `APXPERF_THREADS`,
+//!   else the machine's parallelism). Never changes any reported number —
+//!   sharded seed streams make reports bit-identical across thread counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use apx_cells::Library;
-use apx_core::{Characterizer, CharacterizerSettings};
+use apx_core::{Characterizer, CharacterizerSettings, Engine};
 use apx_operators::OperatorConfig;
 use std::collections::HashMap;
 
@@ -57,18 +60,45 @@ impl Options {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// String option with a default.
+    #[must_use]
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.map
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
 }
 
-/// Builds the standard characterizer used by the repro binaries.
+/// The standard characterizer settings used by the repro binaries.
 #[must_use]
-pub fn characterizer<'a>(lib: &'a Library, opts: &Options) -> Characterizer<'a> {
-    Characterizer::new(lib).with_settings(CharacterizerSettings {
+pub fn settings(opts: &Options) -> CharacterizerSettings {
+    CharacterizerSettings {
         error_samples: opts.get_usize("samples", 100_000),
         verify_samples: 2_000,
         exhaustive_up_to_bits: 16,
         power_vectors: opts.get_usize("vectors", 1_500),
         seed: opts.get_u64("seed", 0xDA7E_2017),
-    })
+    }
+}
+
+/// Builds the execution engine used by the repro binaries: `--threads N`
+/// wins, otherwise `APXPERF_THREADS`/machine parallelism.
+#[must_use]
+pub fn engine(opts: &Options) -> Engine {
+    match opts.get_usize("threads", 0) {
+        0 => Engine::from_env(),
+        n => Engine::new(n),
+    }
+}
+
+/// Builds the standard characterizer used by the repro binaries.
+#[must_use]
+pub fn characterizer<'a>(lib: &'a Library, opts: &Options) -> Characterizer<'a> {
+    Characterizer::new(lib)
+        .with_settings(settings(opts))
+        .with_engine(engine(opts))
 }
 
 /// Family tag of an adder configuration — matches the legend of

@@ -10,7 +10,9 @@
 //! adder keeps the full 16-bit interface, so its partner multiplier stays
 //! full width — that overhead is what Tables III–VI expose.
 
-use crate::characterizer::Characterizer;
+use crate::characterizer::{Characterizer, CharacterizerSettings};
+use apx_cells::Library;
+use apx_engine::Engine;
 use apx_operators::{OpClass, OpCounts, OperatorConfig};
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +96,53 @@ pub fn model_for_multiplier(chz: &mut Characterizer<'_>, mult: &OperatorConfig) 
     }
 }
 
+/// Parallel §IV driver over **adders under test**: one energy model per
+/// configuration (operator + sized partner multiplier), computed across
+/// configs on `engine` and returned in input order. Bit-identical to a
+/// serial [`model_for_adder`] loop for any thread count.
+#[must_use]
+pub fn models_for_adders(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    adders: &[OperatorConfig],
+    engine: &Engine,
+) -> Vec<AppEnergyModel> {
+    models_parallel(lib, settings, adders, engine, model_for_adder)
+}
+
+/// Parallel §IV driver over **multipliers under test**
+/// (see [`models_for_adders`]).
+#[must_use]
+pub fn models_for_multipliers(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    mults: &[OperatorConfig],
+    engine: &Engine,
+) -> Vec<AppEnergyModel> {
+    models_parallel(lib, settings, mults, engine, model_for_multiplier)
+}
+
+fn models_parallel(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+    model: impl Fn(&mut Characterizer<'_>, &OperatorConfig) -> AppEnergyModel + Sync,
+) -> Vec<AppEnergyModel> {
+    // Each task characterizes two operators (the config and its sized
+    // partner); config-level parallelism carries the sweep, and any
+    // leftover workers (small config sets, as in the HEVC/K-means
+    // tables) drop into the tasks' sharded loops. Determinism is
+    // per-operator, so the split changes nothing in the output.
+    let inner = crate::sweeps::inner_engine(engine, configs.len());
+    engine.map_indexed(configs.len(), |i| {
+        let mut chz = Characterizer::new(lib)
+            .with_settings(settings)
+            .with_engine(inner.clone());
+        model(&mut chz, &configs[i])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +209,32 @@ mod tests {
     #[should_panic(expected = "adder expected")]
     fn wrong_class_is_rejected() {
         let _ = partner_multiplier(&OperatorConfig::Aam { n: 16 });
+    }
+
+    #[test]
+    fn parallel_models_match_the_serial_loop() {
+        let lib = Library::fdsoi28();
+        let settings = CharacterizerSettings {
+            error_samples: 1_000,
+            verify_samples: 100,
+            exhaustive_up_to_bits: 8,
+            power_vectors: 50,
+            seed: 21,
+        };
+        let adders = [
+            OperatorConfig::AddTrunc { n: 16, q: 10 },
+            OperatorConfig::EtaIv { n: 16, x: 4 },
+        ];
+        let mut serial = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_engine(Engine::single_threaded());
+        let expected: Vec<_> = adders
+            .iter()
+            .map(|c| model_for_adder(&mut serial, c))
+            .collect();
+        for threads in [1, 4] {
+            let models = models_for_adders(&lib, settings, &adders, &Engine::new(threads));
+            assert_eq!(models, expected, "threads={threads}");
+        }
     }
 }

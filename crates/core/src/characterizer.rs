@@ -2,11 +2,19 @@
 
 use crate::report::{ErrorSummary, OperatorReport};
 use apx_cells::Library;
+use apx_engine::{plan_shards, shard_seed, Engine};
 use apx_metrics::ErrorStats;
 use apx_netlist::{verify, AnalysisSettings, HwAnalyzer};
 use apx_operators::{mask_u, ApxOperator, OperatorConfig};
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Stream id mixed into [`shard_seed`] for the error-sampling draws.
+const STREAM_ERROR: u64 = 0xE55_0E57;
+
+/// Samples per [`ApxOperator::eval_batch`] call inside one shard — a
+/// multiple of the 64-lane bitslice width, small enough to stay in cache.
+const BATCH: usize = 1024;
 
 /// Tunables of the characterization pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,20 +50,30 @@ impl Default for CharacterizerSettings {
 /// Runs the full APXPERF pipeline for operator configurations against one
 /// technology library.
 ///
+/// All three loops — error sampling, equivalence verification and power
+/// vectors — are sharded into fixed-size chunks with per-chunk RNG
+/// streams derived from the master seed, executed on the attached
+/// [`Engine`] and merged in shard order. Reports are therefore
+/// **bit-identical for any thread count**; `APXPERF_THREADS` (or
+/// [`Characterizer::with_engine`]) only changes the wall-clock.
+///
 /// See the crate-level docs for the pipeline diagram and an example.
 #[derive(Debug, Clone)]
 pub struct Characterizer<'a> {
     lib: &'a Library,
     settings: CharacterizerSettings,
+    engine: Engine,
 }
 
 impl<'a> Characterizer<'a> {
-    /// Creates a characterizer with default settings.
+    /// Creates a characterizer with default settings on the environment's
+    /// engine (`APXPERF_THREADS`, defaulting to the machine parallelism).
     #[must_use]
     pub fn new(lib: &'a Library) -> Self {
         Characterizer {
             lib,
             settings: CharacterizerSettings::default(),
+            engine: Engine::from_env(),
         }
     }
 
@@ -66,10 +84,24 @@ impl<'a> Characterizer<'a> {
         self
     }
 
+    /// Replaces the execution engine (thread count). Does not affect any
+    /// reported number — only how fast it is produced.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The active settings.
     #[must_use]
     pub fn settings(&self) -> CharacterizerSettings {
         self.settings
+    }
+
+    /// The attached engine.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Characterizes one operator: cross-verification, functional error
@@ -93,30 +125,66 @@ impl<'a> Characterizer<'a> {
         let nl = op.netlist();
         let total_bits = 2 * op.input_bits();
         let result = if total_bits <= self.settings.exhaustive_up_to_bits {
-            verify::verify_exhaustive2(&nl, |a, b| op.eval_u(a, b))
+            verify::verify_exhaustive2_with(&nl, &self.engine, |a, b| op.eval_u(a, b))
         } else {
-            verify::verify_random2(
+            verify::verify_random2_with(
                 &nl,
                 self.settings.verify_samples,
                 self.settings.seed,
+                &self.engine,
                 |a, b| op.eval_u(a, b),
             )
         };
         result.is_ok()
     }
 
+    /// One shard of the error characterization: its own RNG stream, its
+    /// own accumulator, batched through [`ApxOperator::reference_batch`] /
+    /// [`ApxOperator::aligned_batch`].
+    fn error_stats_shard(&self, op: &dyn ApxOperator, index: usize, samples: usize) -> ErrorStats {
+        let mut stats = ErrorStats::new(op.ref_bits(), op.fullscale_bits());
+        let mask = mask_u(op.input_bits());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shard_seed(
+            self.settings.seed ^ 0x5EED,
+            STREAM_ERROR,
+            index as u64,
+        ));
+        let mut av = vec![0u64; BATCH];
+        let mut bv = vec![0u64; BATCH];
+        let mut refs = vec![0u64; BATCH];
+        let mut outs = vec![0u64; BATCH];
+        let mut remaining = samples;
+        while remaining > 0 {
+            let len = remaining.min(BATCH);
+            for (a, b) in av[..len].iter_mut().zip(&mut bv[..len]) {
+                *a = rng.random::<u64>() & mask;
+                *b = rng.random::<u64>() & mask;
+            }
+            op.reference_batch(&av[..len], &bv[..len], &mut refs[..len]);
+            op.aligned_batch(&av[..len], &bv[..len], &mut outs[..len]);
+            for (&r, &o) in refs[..len].iter().zip(&outs[..len]) {
+                stats.record(r, o);
+            }
+            remaining -= len;
+        }
+        stats
+    }
+
     /// Functional error characterization over uniform random operands.
     ///
     /// Exposed publicly (in addition to [`Characterizer::characterize`])
     /// so callers can access non-scalar metrics (PDF, PSD, AP curves).
+    /// Sharded: per-shard accumulators are merged in shard order (the
+    /// paper's "Data Fusion"), so the result never depends on the thread
+    /// count.
     pub fn error_stats(&self, op: &dyn ApxOperator) -> ErrorStats {
+        let shards = plan_shards(self.settings.error_samples);
+        let partials = self.engine.map_indexed(shards.len(), |i| {
+            self.error_stats_shard(op, i, shards[i].len)
+        });
         let mut stats = ErrorStats::new(op.ref_bits(), op.fullscale_bits());
-        let mask = mask_u(op.input_bits());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.settings.seed ^ 0x5EED);
-        for _ in 0..self.settings.error_samples {
-            let a = rng.random::<u64>() & mask;
-            let b = rng.random::<u64>() & mask;
-            stats.record(op.reference_u(a, b), op.aligned_u(a, b));
+        for partial in &partials {
+            stats.merge(partial);
         }
         stats
     }
@@ -128,6 +196,7 @@ impl<'a> Characterizer<'a> {
                 power_vectors: self.settings.power_vectors,
                 seed: self.settings.seed ^ 0xCAFE,
             })
+            .with_engine(self.engine.clone())
             .analyze(&op.netlist())
     }
 }
@@ -209,5 +278,20 @@ mod tests {
             fa_type: FaType::Three,
         });
         assert!(trunc.error.mse_db < rca.error.mse_db - 10.0);
+    }
+
+    #[test]
+    fn thread_count_never_changes_a_report() {
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::EtaIv { n: 16, x: 4 };
+        let baseline = quick(&lib)
+            .with_engine(Engine::new(1))
+            .characterize(&config);
+        for threads in [2, 8] {
+            let report = quick(&lib)
+                .with_engine(Engine::new(threads))
+                .characterize(&config);
+            assert_eq!(report, baseline, "threads={threads}");
+        }
     }
 }

@@ -25,6 +25,13 @@
 //! produces the paper's headline result (sized fixed-point operators
 //! shrink the whole data-path; approximate operators don't).
 //!
+//! Every sampling loop is sharded and runs on an [`Engine`]
+//! (`APXPERF_THREADS`); per-shard RNG streams are derived from the master
+//! seed and partials merge in shard order, so reports are bit-identical
+//! for any thread count. [`sweeps::characterize_all`] and
+//! [`appenergy::models_for_adders`]/[`appenergy::models_for_multipliers`]
+//! additionally parallelize across operator configurations.
+//!
 //! # Example
 //!
 //! ```
@@ -51,5 +58,6 @@ mod characterizer;
 mod report;
 pub mod sweeps;
 
+pub use apx_engine::Engine;
 pub use characterizer::{Characterizer, CharacterizerSettings};
 pub use report::{ErrorSummary, OperatorReport, ParetoPoint};

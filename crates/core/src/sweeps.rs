@@ -1,10 +1,52 @@
 //! The §IV parameter sweeps ("all approximate operators … tested with all
-//! possible combinations of parameters") and Pareto utilities.
+//! possible combinations of parameters"), the parallel sweep driver, and
+//! Pareto utilities.
 
-use crate::report::ParetoPoint;
+use crate::characterizer::{Characterizer, CharacterizerSettings};
+use crate::report::{OperatorReport, ParetoPoint};
+use apx_cells::Library;
+use apx_engine::Engine;
 use apx_operators::{FaType, OperatorConfig};
 
 pub use crate::report::ParetoPoint as Point;
+
+/// Splits an engine's workers across `jobs` parallel tasks: when there
+/// are at least as many jobs as workers, each task runs serially inside
+/// (config-level parallelism saturates the pool); with fewer jobs the
+/// leftover workers are pushed down into each task's sharded loops.
+/// Either way the reports are bit-identical — this only balances load.
+pub(crate) fn inner_engine(engine: &Engine, jobs: usize) -> Engine {
+    let threads = engine.threads();
+    if jobs == 0 || jobs >= threads {
+        Engine::single_threaded()
+    } else {
+        Engine::new(threads.div_ceil(jobs))
+    }
+}
+
+/// Characterizes every configuration in parallel across operator configs
+/// (the §IV sweep driver): each config gets its own [`Characterizer`]
+/// with the same settings, and the reports come back in input order.
+///
+/// The per-config work is seeded only by `settings.seed` and sharded by
+/// fixed plans, so the output is bit-identical to a serial
+/// `for config in configs { chz.characterize(config) }` loop for any
+/// engine.
+#[must_use]
+pub fn characterize_all(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+) -> Vec<OperatorReport> {
+    let inner = inner_engine(engine, configs.len());
+    engine.map_indexed(configs.len(), |i| {
+        Characterizer::new(lib)
+            .with_settings(settings)
+            .with_engine(inner.clone())
+            .characterize(&configs[i])
+    })
+}
 
 /// Re-exported Pareto-front extraction (see [`ParetoPoint`]).
 #[must_use]
@@ -130,6 +172,31 @@ mod tests {
         {
             let op = config.build();
             assert!(!op.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_characterization() {
+        let lib = Library::fdsoi28();
+        let settings = CharacterizerSettings {
+            error_samples: 3_000,
+            verify_samples: 200,
+            exhaustive_up_to_bits: 8,
+            power_vectors: 60,
+            seed: 11,
+        };
+        let configs = [
+            OperatorConfig::AddTrunc { n: 16, q: 10 },
+            OperatorConfig::Aca { n: 16, p: 4 },
+            OperatorConfig::EtaIi { n: 16, x: 4 },
+        ];
+        let mut serial = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_engine(Engine::single_threaded());
+        let expected: Vec<_> = configs.iter().map(|c| serial.characterize(c)).collect();
+        for threads in [1, 4] {
+            let reports = characterize_all(&lib, settings, &configs, &Engine::new(threads));
+            assert_eq!(reports, expected, "threads={threads}");
         }
     }
 

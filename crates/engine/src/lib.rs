@@ -1,0 +1,287 @@
+//! The APXPERF-RS execution engine: batched, multi-threaded runs of the
+//! characterization hot loops with **thread-count-independent results**.
+//!
+//! The paper's flow pushes >10⁷ random vectors per operator through the
+//! functional and gate-level models on a cluster; this crate provides the
+//! workstation equivalent. Three pieces cooperate:
+//!
+//! * [`Engine`] — a handle over the vendored work-stealing thread pool.
+//!   The worker count comes from the `APXPERF_THREADS` environment
+//!   variable (falling back to the machine's available parallelism) or an
+//!   explicit [`Engine::new`].
+//! * [`plan_shards`] — splits a sample count into fixed-size shards. The
+//!   plan depends **only on the total count**, never on the thread count.
+//! * [`shard_seed`] — derives one independent RNG stream per
+//!   (master seed, loop id, shard index) triple.
+//!
+//! Together these give the determinism guarantee the reports rely on:
+//! every shard always processes the same samples with the same RNG
+//! stream, and partial results are merged in shard order on the caller's
+//! thread — so the output is **bit-identical for any thread count**, only
+//! the wall-clock changes.
+//!
+//! # Example
+//!
+//! ```
+//! use apx_engine::{plan_shards, shard_seed, Engine};
+//!
+//! let engine = Engine::new(4);
+//! let shards = plan_shards(100_000);
+//! let partials = engine.map_indexed(shards.len(), |i| {
+//!     let shard = shards[i];
+//!     let _stream = shard_seed(0xDA7E, 1, shard.index as u64);
+//!     shard.len as u64 // stand-in for real per-shard work
+//! });
+//! // results arrive in shard order regardless of scheduling
+//! assert_eq!(partials.iter().sum::<u64>(), 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Environment variable selecting the worker count for
+/// [`Engine::from_env`] (and everything built on it, including the repro
+/// binaries). Unset or unparsable values fall back to the machine's
+/// available parallelism; `1` forces serial execution.
+pub const THREADS_ENV: &str = "APXPERF_THREADS";
+
+/// Samples per shard of the characterization loops. A fixed constant —
+/// never derived from the thread count — so the shard plan, and with it
+/// every per-shard RNG stream, is identical no matter how many workers
+/// execute it. 8192 samples amortize task overhead thoroughly while
+/// keeping >10 shards for the smallest default loop.
+pub const SHARD_SAMPLES: usize = 8192;
+
+/// Reads the `APXPERF_THREADS` override, falling back to the machine's
+/// available parallelism. Always at least 1.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// One contiguous chunk of a sharded loop (see [`plan_shards`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index, `0..num_shards`; also the per-shard RNG stream index.
+    pub index: usize,
+    /// First sample of the shard.
+    pub start: usize,
+    /// Number of samples in the shard.
+    pub len: usize,
+}
+
+/// Splits `total` samples into [`SHARD_SAMPLES`]-sized shards (the last
+/// shard takes the remainder). `total == 0` yields no shards.
+///
+/// The plan is a pure function of `total`: thread counts, pool state and
+/// scheduling never influence it — that invariance is what makes sharded
+/// reports bit-identical across machines.
+#[must_use]
+pub fn plan_shards(total: usize) -> Vec<Shard> {
+    plan_shards_sized(total, SHARD_SAMPLES)
+}
+
+/// [`plan_shards`] with an explicit shard size (power-estimation loops
+/// use smaller shards because each vector is far more expensive than an
+/// error sample).
+///
+/// # Panics
+/// Panics if `shard_samples` is 0.
+#[must_use]
+pub fn plan_shards_sized(total: usize, shard_samples: usize) -> Vec<Shard> {
+    assert!(shard_samples > 0, "shard size must be positive");
+    let mut shards = Vec::with_capacity(total.div_ceil(shard_samples));
+    let mut start = 0;
+    while start < total {
+        let len = (total - start).min(shard_samples);
+        shards.push(Shard {
+            index: shards.len(),
+            start,
+            len,
+        });
+        start += len;
+    }
+    shards
+}
+
+/// Derives the RNG seed of one shard stream: a splitmix64-style mix of
+/// the master seed, a loop identifier (so the error, verification and
+/// power loops draw from unrelated streams even under the same master
+/// seed) and the shard index.
+#[must_use]
+pub fn shard_seed(master: u64, stream: u64, shard: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(shard.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The execution engine: a cheap, cloneable handle that runs indexed
+/// parallel maps on the vendored work-stealing pool.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pool: rayon::ThreadPool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::from_env()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail");
+        Engine { pool }
+    }
+
+    /// Creates an engine honouring `APXPERF_THREADS` (see
+    /// [`default_threads`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Engine::new(default_threads())
+    }
+
+    /// A serial engine: one worker. Used inside already-parallel regions
+    /// (e.g. each task of a config-level sweep) to avoid oversubscribing
+    /// the machine with nested pools.
+    #[must_use]
+    pub fn single_threaded() -> Self {
+        Engine::new(1)
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Evaluates `f(0), f(1), …, f(count - 1)` on the pool and returns the
+    /// results **in index order**, however the tasks were scheduled. This
+    /// is the only primitive the sharded loops need: per-shard work runs
+    /// concurrently, and the caller folds the ordered partials serially so
+    /// floating-point merges are reproducible.
+    ///
+    /// # Panics
+    /// Propagates panics from `f`: the pool catches the unwind, still
+    /// drains the remaining tasks, and resumes the first panic after the
+    /// barrier — so `map_indexed` panics rather than deadlocks or
+    /// returns partial results.
+    pub fn map_indexed<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        // With one worker (or one task) skip the pool entirely: same
+        // results by construction, none of the dispatch overhead.
+        if self.threads() == 1 || count == 1 {
+            return (0..count).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        self.pool.scope(|s| {
+            for (i, slot) in slots.iter().enumerate() {
+                let f = &f;
+                s.spawn(move |_| {
+                    let value = f(i);
+                    *slot.lock().unwrap() = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot mutexes are never poisoned")
+                    .expect("scope barrier guarantees every slot is filled")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_is_thread_independent_and_covers_everything() {
+        for total in [0usize, 1, 100, SHARD_SAMPLES, SHARD_SAMPLES + 1, 100_000] {
+            let shards = plan_shards(total);
+            let covered: usize = shards.iter().map(|s| s.len).sum();
+            assert_eq!(covered, total);
+            for (k, s) in shards.iter().enumerate() {
+                assert_eq!(s.index, k);
+                assert!(s.len > 0 && s.len <= SHARD_SAMPLES);
+            }
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].start + pair[0].len, pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_across_streams_and_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..4 {
+            for shard in 0..64 {
+                assert!(seen.insert(shard_seed(0xDA7E_2017, stream, shard)));
+            }
+        }
+        // and reproducible
+        assert_eq!(shard_seed(1, 2, 3), shard_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn map_indexed_preserves_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(threads);
+            assert_eq!(engine.threads(), threads);
+            assert_eq!(engine.map_indexed(257, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        let engine = Engine::new(4);
+        assert_eq!(engine.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(engine.map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_indexed_panics_cleanly_instead_of_hanging() {
+        let engine = Engine::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.map_indexed(64, |i| {
+                assert!(i != 13, "shard failure");
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -4,6 +4,7 @@ use crate::ir::Netlist;
 use crate::power::{self, PowerSettings};
 use crate::sta;
 use apx_cells::Library;
+use apx_engine::Engine;
 use serde::{Deserialize, Serialize};
 
 /// Settings shared by the analysis steps.
@@ -76,15 +77,17 @@ pub struct HwReport {
 pub struct HwAnalyzer<'a> {
     lib: &'a Library,
     settings: AnalysisSettings,
+    engine: Engine,
 }
 
 impl<'a> HwAnalyzer<'a> {
-    /// Creates an analyzer with default settings.
+    /// Creates an analyzer with default settings, running serially.
     #[must_use]
     pub fn new(lib: &'a Library) -> Self {
         HwAnalyzer {
             lib,
             settings: AnalysisSettings::default(),
+            engine: Engine::single_threaded(),
         }
     }
 
@@ -92,6 +95,15 @@ impl<'a> HwAnalyzer<'a> {
     #[must_use]
     pub fn with_settings(mut self, settings: AnalysisSettings) -> Self {
         self.settings = settings;
+        self
+    }
+
+    /// Runs the power-vector shards on `engine`. Reports are bit-identical
+    /// for any worker count (see [`power::estimate_with`]); only the
+    /// wall-clock changes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -104,13 +116,14 @@ impl<'a> HwAnalyzer<'a> {
             .map(|g| self.lib.spec(g.kind).area_um2)
             .sum();
         let timing = sta::analyze(nl, self.lib);
-        let pwr = power::estimate(
+        let pwr = power::estimate_with(
             nl,
             self.lib,
             PowerSettings {
                 vectors: self.settings.power_vectors,
                 seed: self.settings.seed,
             },
+            &self.engine,
         );
         let stats = nl.stats();
         HwReport {

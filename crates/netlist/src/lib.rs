@@ -63,4 +63,4 @@ pub mod verify;
 pub use analyzer::{AnalysisSettings, HwAnalyzer, HwReport};
 pub use builder::NetlistBuilder;
 pub use ir::{Gate, NetId, Netlist, NetlistStats};
-pub use sim::{pack_operand, unpack_outputs, Sim64};
+pub use sim::{pack_operand, pack_operand_into, unpack_outputs, unpack_outputs_into, Sim64};

@@ -11,10 +11,20 @@
 use crate::ir::Netlist;
 use crate::sta::gate_output_delays_ps;
 use apx_cells::Library;
+use apx_engine::{plan_shards_sized, shard_seed, Engine};
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Vectors per power shard: event-driven vectors are orders of magnitude
+/// more expensive than error samples, so shards are much smaller than the
+/// generic [`apx_engine::SHARD_SAMPLES`] to expose parallelism at the
+/// default vector counts.
+const POWER_SHARD_VECTORS: usize = 256;
+
+/// Stream id mixed into [`shard_seed`] for power-vector draws.
+const STREAM_POWER: u64 = 0xA0_3E57;
 
 /// Configuration for power estimation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -148,10 +158,83 @@ impl<'a> EventSim<'a> {
     }
 }
 
+/// Simulates one shard of the vector stream on a private [`EventSim`]:
+/// one uncounted warm-up vector from the all-zeros state, then `vectors`
+/// counted vectors, all drawn from the shard's own seed stream. Returns
+/// the per-gate transition counts.
+fn transitions_for_shard(nl: &Netlist, lib: &Library, vectors: usize, seed: u64) -> Vec<u64> {
+    let mut sim = EventSim::new(nl, lib);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let pi_nets: Vec<usize> = nl
+        .inputs()
+        .iter()
+        .flat_map(|(_, bus)| bus.iter().map(|n| n.index()))
+        .collect();
+
+    let mut draw_buf: Vec<(usize, bool)> = Vec::with_capacity(pi_nets.len());
+    let draw = |rng: &mut rand::rngs::StdRng, buf: &mut Vec<(usize, bool)>| {
+        buf.clear();
+        buf.extend(pi_nets.iter().map(|&n| (n, rng.random::<bool>())));
+    };
+
+    // Warm-up vector: settle from the all-zero state, then reset counters.
+    draw(&mut rng, &mut draw_buf);
+    sim.apply_vector(&draw_buf);
+    for t in &mut sim.transitions {
+        *t = 0;
+    }
+
+    for _ in 0..vectors {
+        draw(&mut rng, &mut draw_buf);
+        sim.apply_vector(&draw_buf);
+    }
+    sim.transitions
+}
+
+/// Folds per-gate transition counts into the [`PowerReport`].
+fn report_from_transitions(
+    nl: &Netlist,
+    lib: &Library,
+    transitions: &[u64],
+    vectors: usize,
+) -> PowerReport {
+    let mut total_energy_fj = 0.0f64;
+    let mut total_transitions = 0u64;
+    for (gi, gate) in nl.gates().iter().enumerate() {
+        let e = lib.spec(gate.kind).energy_fj;
+        total_energy_fj += transitions[gi] as f64 * e;
+        total_transitions += transitions[gi];
+    }
+    let leakage_uw: f64 = nl
+        .gates()
+        .iter()
+        .map(|g| lib.spec(g.kind).leakage_nw)
+        .sum::<f64>()
+        / 1000.0;
+
+    let vectors = vectors.max(1) as f64;
+    let energy_per_op_pj = total_energy_fj / 1000.0 / vectors;
+    let freq_mhz = lib.operating_point().freq_mhz;
+    // pJ/op × 10⁻¹² J × MHz × 10⁶ /s = e·f × 10⁻⁶ W = e·f × 10⁻³ mW
+    let dynamic_power_mw = energy_per_op_pj * freq_mhz * 1e-3;
+
+    PowerReport {
+        dynamic_power_mw,
+        leakage_uw,
+        energy_per_op_pj,
+        transitions_per_op: total_transitions as f64 / vectors,
+    }
+}
+
 /// Estimates power by applying `settings.vectors` random input vectors.
 ///
-/// The first vector is a warm-up from the all-zeros state and is not
-/// counted. Leakage is the sum of per-cell leakage regardless of activity.
+/// The vector stream is split into fixed shards, each simulated from the
+/// all-zeros state with one uncounted warm-up vector and its own RNG
+/// stream derived from `settings.seed`; per-gate transition counts are
+/// then summed over shards. [`estimate_with`] runs the exact same shards
+/// on a thread pool, so both forms produce bit-identical reports.
+/// Leakage is the sum of per-cell leakage regardless of activity.
 ///
 /// # Example
 /// ```
@@ -172,55 +255,33 @@ impl<'a> EventSim<'a> {
 /// ```
 #[must_use]
 pub fn estimate(nl: &Netlist, lib: &Library, settings: PowerSettings) -> PowerReport {
-    let mut sim = EventSim::new(nl, lib);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(settings.seed);
+    estimate_with(nl, lib, settings, &Engine::single_threaded())
+}
 
-    let pi_nets: Vec<usize> = nl
-        .inputs()
-        .iter()
-        .flat_map(|(_, bus)| bus.iter().map(|n| n.index()))
-        .collect();
-
-    let draw = |rng: &mut rand::rngs::StdRng| -> Vec<(usize, bool)> {
-        pi_nets.iter().map(|&n| (n, rng.random::<bool>())).collect()
-    };
-
-    // Warm-up vector: settle from the all-zero state, then reset counters.
-    sim.apply_vector(&draw(&mut rng));
-    for t in &mut sim.transitions {
-        *t = 0;
+/// Sharded-parallel form of [`estimate`]: the same shards, each with the
+/// same seed stream, simulated on `engine` and merged in shard order.
+/// Per-gate transition counts are integers, so the merged report is
+/// bit-identical to [`estimate`] for any thread count.
+#[must_use]
+pub fn estimate_with(
+    nl: &Netlist,
+    lib: &Library,
+    settings: PowerSettings,
+    engine: &Engine,
+) -> PowerReport {
+    let shards = plan_shards_sized(settings.vectors, POWER_SHARD_VECTORS);
+    let partials = engine.map_indexed(shards.len(), |i| {
+        let shard = shards[i];
+        let seed = shard_seed(settings.seed, STREAM_POWER, shard.index as u64);
+        transitions_for_shard(nl, lib, shard.len, seed)
+    });
+    let mut transitions = vec![0u64; nl.gates().len()];
+    for partial in partials {
+        for (t, p) in transitions.iter_mut().zip(partial) {
+            *t += p;
+        }
     }
-
-    for _ in 0..settings.vectors {
-        sim.apply_vector(&draw(&mut rng));
-    }
-
-    let mut total_energy_fj = 0.0f64;
-    let mut total_transitions = 0u64;
-    for (gi, gate) in nl.gates().iter().enumerate() {
-        let e = lib.spec(gate.kind).energy_fj;
-        total_energy_fj += sim.transitions[gi] as f64 * e;
-        total_transitions += sim.transitions[gi];
-    }
-    let leakage_uw: f64 = nl
-        .gates()
-        .iter()
-        .map(|g| lib.spec(g.kind).leakage_nw)
-        .sum::<f64>()
-        / 1000.0;
-
-    let vectors = settings.vectors.max(1) as f64;
-    let energy_per_op_pj = total_energy_fj / 1000.0 / vectors;
-    let freq_mhz = lib.operating_point().freq_mhz;
-    // pJ/op × 10⁻¹² J × MHz × 10⁶ /s = e·f × 10⁻⁶ W = e·f × 10⁻³ mW
-    let dynamic_power_mw = energy_per_op_pj * freq_mhz * 1e-3;
-
-    PowerReport {
-        dynamic_power_mw,
-        leakage_uw,
-        energy_per_op_pj,
-        transitions_per_op: total_transitions as f64 / vectors,
-    }
+    report_from_transitions(nl, lib, &transitions, settings.vectors)
 }
 
 #[cfg(test)]
@@ -282,6 +343,21 @@ mod tests {
             "got {}",
             report.transitions_per_op
         );
+    }
+
+    #[test]
+    fn parallel_estimate_is_bit_identical_for_any_thread_count() {
+        let lib = Library::fdsoi28();
+        let nl = rca(12);
+        let settings = PowerSettings {
+            vectors: 1_100, // > 4 shards, with a ragged tail
+            seed: 77,
+        };
+        let serial = estimate(&nl, &lib, settings);
+        for threads in [1, 2, 8] {
+            let par = estimate_with(&nl, &lib, settings, &Engine::new(threads));
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

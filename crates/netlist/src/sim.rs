@@ -24,31 +24,59 @@ use crate::ir::{NetId, Netlist};
 /// Panics if more than 64 values are supplied.
 #[must_use]
 pub fn pack_operand(width: usize, values: &[u64]) -> Vec<u64> {
+    let mut words = Vec::new();
+    pack_operand_into(width, values, &mut words);
+    words
+}
+
+/// Buffer-reusing form of [`pack_operand`]: clears and fills `words`
+/// without allocating when its capacity already suffices. This is the
+/// variant the characterization hot loops use, where a fresh `Vec` per
+/// 64-lane batch would dominate the simulator's own work.
+///
+/// # Panics
+/// Panics if more than 64 values are supplied.
+pub fn pack_operand_into(width: usize, values: &[u64], words: &mut Vec<u64>) {
     assert!(values.len() <= 64, "at most 64 lanes");
-    let mut words = vec![0u64; width];
+    words.clear();
+    words.resize(width, 0);
     for (lane, &v) in values.iter().enumerate() {
         for (bit, word) in words.iter_mut().enumerate() {
             *word |= ((v >> bit) & 1) << lane;
         }
     }
-    words
 }
 
 /// Inverse of [`pack_operand`]: converts per-bit lane words back into
 /// `lanes` output values.
 #[must_use]
 pub fn unpack_outputs(words: &[u64], lanes: usize) -> Vec<u64> {
+    let mut values = Vec::new();
+    unpack_outputs_into(words, lanes, &mut values);
+    values
+}
+
+/// Buffer-reusing form of [`unpack_outputs`] (see [`pack_operand_into`]).
+///
+/// # Panics
+/// Panics if more than 64 lanes are requested.
+pub fn unpack_outputs_into(words: &[u64], lanes: usize, values: &mut Vec<u64>) {
     assert!(lanes <= 64, "at most 64 lanes");
-    let mut values = vec![0u64; lanes];
+    values.clear();
+    values.resize(lanes, 0);
     for (bit, &word) in words.iter().enumerate() {
         for (lane, value) in values.iter_mut().enumerate() {
             *value |= ((word >> lane) & 1) << bit;
         }
     }
-    values
 }
 
 /// 64-way bit-parallel zero-delay simulator over one [`Netlist`].
+///
+/// The simulator owns its net-value storage and an internal pack scratch
+/// buffer, so one instance can be reused across any number of batches
+/// without allocating — reuse it in loops rather than constructing a new
+/// one per batch.
 ///
 /// # Example
 /// ```
@@ -70,6 +98,7 @@ pub fn unpack_outputs(words: &[u64], lanes: usize) -> Vec<u64> {
 pub struct Sim64<'a> {
     nl: &'a Netlist,
     values: Vec<u64>,
+    pack_buf: Vec<u64>,
 }
 
 impl<'a> Sim64<'a> {
@@ -79,6 +108,7 @@ impl<'a> Sim64<'a> {
         Sim64 {
             nl,
             values: vec![0; nl.num_nets()],
+            pack_buf: Vec::new(),
         }
     }
 
@@ -98,15 +128,16 @@ impl<'a> Sim64<'a> {
     /// # Panics
     /// Panics if the bus does not exist.
     pub fn set_bus_lanes(&mut self, bus: &str, values: &[u64]) {
-        let nets: Vec<NetId> = self
+        let nets = self
             .nl
             .input_bus(bus)
-            .unwrap_or_else(|| panic!("no input bus {bus}"))
-            .to_vec();
-        let words = pack_operand(nets.len(), values);
-        for (net, word) in nets.iter().zip(words) {
-            self.set_net(*net, word);
+            .unwrap_or_else(|| panic!("no input bus {bus}"));
+        let mut words = std::mem::take(&mut self.pack_buf);
+        pack_operand_into(nets.len(), values, &mut words);
+        for (net, word) in nets.iter().zip(&words) {
+            self.values[net.index()] = *word;
         }
+        self.pack_buf = words;
     }
 
     /// Evaluates all gates in topological order.
@@ -141,12 +172,32 @@ impl<'a> Sim64<'a> {
     /// Panics if the bus does not exist.
     #[must_use]
     pub fn read_bus_lanes(&self, bus: &str, lanes: usize) -> Vec<u64> {
+        let mut values = Vec::new();
+        self.read_bus_lanes_into(bus, lanes, &mut values);
+        values
+    }
+
+    /// Buffer-reusing form of [`Sim64::read_bus_lanes`]: unpacks the
+    /// output bus straight from the net words into `values`, with no
+    /// intermediate word buffer.
+    ///
+    /// # Panics
+    /// Panics if the bus does not exist or more than 64 lanes are
+    /// requested.
+    pub fn read_bus_lanes_into(&self, bus: &str, lanes: usize, values: &mut Vec<u64>) {
+        assert!(lanes <= 64, "at most 64 lanes");
         let nets = self
             .nl
             .output_bus(bus)
             .unwrap_or_else(|| panic!("no output bus {bus}"));
-        let words: Vec<u64> = nets.iter().map(|n| self.net(*n)).collect();
-        unpack_outputs(&words, lanes)
+        values.clear();
+        values.resize(lanes, 0);
+        for (bit, net) in nets.iter().enumerate() {
+            let word = self.net(*net);
+            for (lane, value) in values.iter_mut().enumerate() {
+                *value |= ((word >> lane) & 1) << bit;
+            }
+        }
     }
 }
 
@@ -160,6 +211,18 @@ mod tests {
         let values: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) & 0xFFFF).collect();
         let words = pack_operand(16, &values);
         assert_eq!(unpack_outputs(&words, 64), values);
+    }
+
+    #[test]
+    fn into_variants_reuse_and_match_the_allocating_forms() {
+        let values: Vec<u64> = (0..40).map(|i| (i * 0x9E37) & 0xFF).collect();
+        let mut words = vec![0xFFFF_FFFF; 3]; // stale content must be cleared
+        pack_operand_into(8, &values, &mut words);
+        assert_eq!(words, pack_operand(8, &values));
+        let mut back = vec![7u64; 99];
+        unpack_outputs_into(&words, 40, &mut back);
+        assert_eq!(back, unpack_outputs(&words, 40));
+        assert_eq!(back, values);
     }
 
     #[test]
@@ -182,5 +245,29 @@ mod tests {
             assert_eq!(sim.read_bus_lanes("sum", 1)[0], total & 1);
             assert_eq!(sim.read_bus_lanes("cout", 1)[0], total >> 1);
         }
+    }
+
+    #[test]
+    fn simulator_reuse_across_batches_is_clean() {
+        // a reused simulator must not leak lane state between batches
+        let mut b = NetlistBuilder::new("rca");
+        let a = b.input_bus("a", 4);
+        let c = b.input_bus("b", 4);
+        let zero = b.tie0();
+        let (sum, _) = b.ripple_adder(&a, &c, zero);
+        b.output_bus("y", &sum);
+        let nl = b.finish();
+        let mut sim = Sim64::new(&nl);
+        let mut out = Vec::new();
+        // full 64-lane batch, then a short 3-lane batch
+        let full: Vec<u64> = (0..64u64).map(|i| i % 16).collect();
+        sim.set_bus_lanes("a", &full);
+        sim.set_bus_lanes("b", &full);
+        sim.run();
+        sim.set_bus_lanes("a", &[1, 2, 3]);
+        sim.set_bus_lanes("b", &[4, 5, 6]);
+        sim.run();
+        sim.read_bus_lanes_into("y", 3, &mut out);
+        assert_eq!(out, vec![5, 7, 9]);
     }
 }

@@ -3,11 +3,29 @@
 //! cross-checks the hardware (VHDL, here: gate-level) and software (C,
 //! here: Rust functional) models of every operator before fusing their
 //! results.
+//!
+//! Both the exhaustive and the random checks are **sharded**: the vector
+//! space (or sample count) is split into fixed-size chunks via
+//! [`apx_engine::plan_shards_sized`], each with its own RNG stream, and
+//! the `_with` variants run the chunks on an [`Engine`]. The shard plan
+//! and streams never depend on the thread count, and a mismatch is always
+//! reported from the lowest-indexed failing shard — so the verdict (and
+//! the reported counterexample) is identical for any worker count.
 
 use crate::ir::Netlist;
 use crate::sim::Sim64;
+use apx_engine::{plan_shards_sized, shard_seed, Engine};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Vectors per verification shard: large enough to amortize a task spawn
+/// over thousands of 64-lane sweeps, small enough to parallelize the
+/// default sample counts.
+const VERIFY_SHARD: usize = 16_384;
+
+/// Stream id mixed into [`shard_seed`] for random verification draws.
+const STREAM_VERIFY: u64 = 0x5EC0_17F1;
 
 /// A mismatch between the netlist and the reference model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,54 +57,97 @@ fn bus_widths(nl: &Netlist) -> Vec<(String, usize)> {
         .collect()
 }
 
-/// Reads every output bus and concatenates them (first bus in the low
-/// bits) into a single value per lane.
-fn read_concat_outputs(sim: &Sim64<'_>, nl: &Netlist, lanes: usize) -> Vec<u64> {
-    let total: usize = nl.outputs().iter().map(|(_, b)| b.len()).sum();
-    assert!(total <= 64, "concatenated outputs exceed 64 bits");
-    let mut acc = vec![0u64; lanes];
-    let mut shift = 0;
-    for (name, bus) in nl.outputs() {
-        let vals = sim.read_bus_lanes(name, lanes);
-        for (a, v) in acc.iter_mut().zip(vals) {
-            *a |= v << shift;
+/// A reusable batch checker: one simulator plus every per-batch buffer,
+/// allocated once per shard so the 64-lane loop itself never touches the
+/// heap.
+struct BatchChecker<'n> {
+    nl: &'n Netlist,
+    sim: Sim64<'n>,
+    /// Per-lane concatenated netlist outputs of the current batch.
+    got: Vec<u64>,
+    /// Scratch for one output bus worth of lane values.
+    vals: Vec<u64>,
+    /// One lane-value buffer per input bus.
+    operands: Vec<Vec<u64>>,
+    /// Per-lane expected outputs of the current batch.
+    expected: Vec<u64>,
+}
+
+impl<'n> BatchChecker<'n> {
+    fn new(nl: &'n Netlist) -> Self {
+        let total: usize = nl.outputs().iter().map(|(_, b)| b.len()).sum();
+        assert!(total <= 64, "concatenated outputs exceed 64 bits");
+        BatchChecker {
+            nl,
+            sim: Sim64::new(nl),
+            got: Vec::new(),
+            vals: Vec::new(),
+            operands: vec![Vec::new(); nl.inputs().len()],
+            expected: Vec::new(),
         }
-        shift += bus.len();
     }
-    acc
+
+    /// Simulates the loaded `operands` batch and compares the
+    /// concatenated outputs against the loaded `expected` values.
+    fn check(&mut self) -> Result<(), VerifyMismatchError> {
+        let lanes = self.operands.first().map_or(0, Vec::len);
+        for ((name, _), vals) in self.nl.inputs().iter().zip(&self.operands) {
+            self.sim.set_bus_lanes(name, vals);
+        }
+        self.sim.run();
+        self.got.clear();
+        self.got.resize(lanes, 0);
+        let mut shift = 0;
+        for (name, bus) in self.nl.outputs() {
+            self.sim.read_bus_lanes_into(name, lanes, &mut self.vals);
+            for (a, v) in self.got.iter_mut().zip(&self.vals) {
+                *a |= v << shift;
+            }
+            shift += bus.len();
+        }
+        for (lane, (&g, &e)) in self.got.iter().zip(&self.expected).enumerate() {
+            if g != e {
+                return Err(VerifyMismatchError {
+                    inputs: self
+                        .nl
+                        .inputs()
+                        .iter()
+                        .zip(&self.operands)
+                        .map(|((n, _), vals)| (n.clone(), vals[lane]))
+                        .collect(),
+                    expected: e,
+                    got: g,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Runs one batch of up to 64 vectors; `operands[i]` is the value of input
-/// bus `i` for each lane.
-fn run_batch(nl: &Netlist, operands: &[Vec<u64>]) -> Vec<u64> {
-    let lanes = operands.first().map_or(0, Vec::len);
-    let mut sim = Sim64::new(nl);
-    for ((name, _), vals) in nl.inputs().iter().zip(operands) {
-        sim.set_bus_lanes(name, vals);
-    }
-    sim.run();
-    read_concat_outputs(&sim, nl, lanes)
-}
-
-fn check_batch(
+/// Exhaustively verifies the concatenated-word range `[start, end)` on a
+/// reused simulator — one shard of [`verify_exhaustive1_with`].
+fn verify_exhaustive1_range(
     nl: &Netlist,
-    operands: &[Vec<u64>],
-    expected: &[u64],
+    widths: &[(String, usize)],
+    start: u64,
+    end: u64,
+    f: impl Fn(u64) -> u64,
 ) -> Result<(), VerifyMismatchError> {
-    let got = run_batch(nl, operands);
-    for (lane, (&g, &e)) in got.iter().zip(expected).enumerate() {
-        if g != e {
-            return Err(VerifyMismatchError {
-                inputs: nl
-                    .inputs()
-                    .iter()
-                    .zip(operands)
-                    .map(|((n, _), vals)| (n.clone(), vals[lane]))
-                    .collect(),
-                expected: e,
-                got: g,
-            });
+    let mut checker = BatchChecker::new(nl);
+    let mut v = start;
+    while v < end {
+        let lanes = (end - v).min(64);
+        let mut shift = 0;
+        for (operand, (_, w)) in checker.operands.iter_mut().zip(widths) {
+            let mask = if *w == 64 { !0u64 } else { (1u64 << w) - 1 };
+            operand.clear();
+            operand.extend((v..v + lanes).map(|x| (x >> shift) & mask));
+            shift += w;
         }
+        checker.expected.clear();
+        checker.expected.extend((v..v + lanes).map(&f));
+        checker.check()?;
+        v += lanes;
     }
     Ok(())
 }
@@ -104,23 +165,51 @@ pub fn verify_exhaustive1(nl: &Netlist, f: impl Fn(u64) -> u64) -> Result<(), Ve
     let widths = bus_widths(nl);
     let total: usize = widths.iter().map(|(_, w)| w).sum();
     assert!(total <= 24, "exhaustive verification over {total} bits");
-    let count = 1u64 << total;
-    let mut v = 0u64;
-    while v < count {
-        let lanes = ((count - v).min(64)) as usize;
-        let lane_vals: Vec<u64> = (0..lanes as u64).map(|l| v + l).collect();
-        let mut operands = Vec::with_capacity(widths.len());
-        let mut shift = 0;
-        for (_, w) in &widths {
-            let mask = if *w == 64 { !0u64 } else { (1u64 << w) - 1 };
-            operands.push(lane_vals.iter().map(|x| (x >> shift) & mask).collect());
-            shift += w;
+    verify_exhaustive1_range(nl, &widths, 0, 1u64 << total, f)
+}
+
+/// Sharded-parallel form of [`verify_exhaustive1`]: the vector space is
+/// split into fixed chunks verified on `engine`. A mismatch is reported
+/// from the lowest-numbered vector range, so the result is independent of
+/// the worker count.
+///
+/// # Errors
+/// Returns the mismatch of the lowest failing range.
+///
+/// # Panics
+/// Panics if the total input width exceeds 24 bits.
+pub fn verify_exhaustive1_with(
+    nl: &Netlist,
+    engine: &Engine,
+    f: impl Fn(u64) -> u64 + Sync,
+) -> Result<(), VerifyMismatchError> {
+    let widths = bus_widths(nl);
+    let total: usize = widths.iter().map(|(_, w)| w).sum();
+    assert!(total <= 24, "exhaustive verification over {total} bits");
+    let count = 1usize << total;
+    let shards = plan_shards_sized(count, VERIFY_SHARD);
+    let min_failed = AtomicUsize::new(usize::MAX);
+    let results = engine.map_indexed(shards.len(), |i| {
+        if i > min_failed.load(Ordering::Relaxed) {
+            // A lower shard already failed; this shard's verdict cannot
+            // win, so skip the simulation (deterministic: shards at or
+            // below the lowest failing index always run in full).
+            return Ok(());
         }
-        let expected: Vec<u64> = lane_vals.iter().map(|&x| f(x)).collect();
-        check_batch(nl, &operands, &expected)?;
-        v += lanes as u64;
-    }
-    Ok(())
+        let shard = shards[i];
+        let result = verify_exhaustive1_range(
+            nl,
+            &widths,
+            shard.start as u64,
+            (shard.start + shard.len) as u64,
+            &f,
+        );
+        if result.is_err() {
+            min_failed.fetch_min(i, Ordering::Relaxed);
+        }
+        result
+    });
+    results.into_iter().find(Result::is_err).unwrap_or(Ok(()))
 }
 
 /// Exhaustively verifies a two-operand netlist (buses in declaration
@@ -145,7 +234,67 @@ pub fn verify_exhaustive2(
     })
 }
 
+/// Sharded-parallel form of [`verify_exhaustive2`]
+/// (see [`verify_exhaustive1_with`]).
+///
+/// # Errors
+/// Returns the mismatch of the lowest failing range.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses, or the
+/// total input width exceeds 24 bits.
+pub fn verify_exhaustive2_with(
+    nl: &Netlist,
+    engine: &Engine,
+    f: impl Fn(u64, u64) -> u64 + Sync,
+) -> Result<(), VerifyMismatchError> {
+    let widths = bus_widths(nl);
+    assert_eq!(widths.len(), 2, "expected exactly two input buses");
+    let wa = widths[0].1;
+    verify_exhaustive1_with(nl, engine, |v| {
+        let mask_a = if wa == 64 { !0u64 } else { (1u64 << wa) - 1 };
+        f(v & mask_a, v >> wa)
+    })
+}
+
+/// Verifies one shard of random vectors on a reused simulator with its
+/// own seed stream.
+fn verify_random2_shard(
+    nl: &Netlist,
+    samples: usize,
+    seed: u64,
+    widths: &[(String, usize)],
+    f: impl Fn(u64, u64) -> u64,
+) -> Result<(), VerifyMismatchError> {
+    use rand::{RngExt, SeedableRng};
+    let (wa, wb) = (widths[0].1, widths[1].1);
+    let mask = |w: usize| if w == 64 { !0u64 } else { (1u64 << w) - 1 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut checker = BatchChecker::new(nl);
+    let mut done = 0;
+    while done < samples {
+        let lanes = (samples - done).min(64);
+        for (operand, w) in checker.operands.iter_mut().zip([wa, wb]) {
+            operand.clear();
+            operand.extend((0..lanes).map(|_| rng.random::<u64>() & mask(w)));
+        }
+        checker.expected.clear();
+        for lane in 0..lanes {
+            checker
+                .expected
+                .push(f(checker.operands[0][lane], checker.operands[1][lane]));
+        }
+        checker.check()?;
+        done += lanes;
+    }
+    Ok(())
+}
+
 /// Verifies a two-operand netlist on `samples` uniform random vectors.
+///
+/// The samples are drawn from per-shard streams derived from `seed`
+/// (serially here; [`verify_random2_with`] runs the same shards on an
+/// engine), so the two forms always agree on the verdict.
 ///
 /// # Errors
 /// Returns the first mismatching vector.
@@ -156,24 +305,50 @@ pub fn verify_random2(
     nl: &Netlist,
     samples: usize,
     seed: u64,
-    f: impl Fn(u64, u64) -> u64,
+    f: impl Fn(u64, u64) -> u64 + Sync,
 ) -> Result<(), VerifyMismatchError> {
-    use rand::{RngExt, SeedableRng};
+    verify_random2_with(nl, samples, seed, &Engine::single_threaded(), f)
+}
+
+/// Sharded-parallel form of [`verify_random2`]: same shards, same per
+/// shard streams, executed on `engine`; mismatches are reported from the
+/// lowest-indexed failing shard. Bit-identical verdict to
+/// [`verify_random2`] for any thread count.
+///
+/// # Errors
+/// Returns the mismatch of the lowest failing shard.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses.
+pub fn verify_random2_with(
+    nl: &Netlist,
+    samples: usize,
+    seed: u64,
+    engine: &Engine,
+    f: impl Fn(u64, u64) -> u64 + Sync,
+) -> Result<(), VerifyMismatchError> {
     let widths = bus_widths(nl);
     assert_eq!(widths.len(), 2, "expected exactly two input buses");
-    let (wa, wb) = (widths[0].1, widths[1].1);
-    let mask = |w: usize| if w == 64 { !0u64 } else { (1u64 << w) - 1 };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut done = 0;
-    while done < samples {
-        let lanes = (samples - done).min(64);
-        let av: Vec<u64> = (0..lanes).map(|_| rng.random::<u64>() & mask(wa)).collect();
-        let bv: Vec<u64> = (0..lanes).map(|_| rng.random::<u64>() & mask(wb)).collect();
-        let expected: Vec<u64> = av.iter().zip(&bv).map(|(&a, &b)| f(a, b)).collect();
-        check_batch(nl, &[av, bv], &expected)?;
-        done += lanes;
-    }
-    Ok(())
+    let shards = plan_shards_sized(samples, VERIFY_SHARD);
+    let min_failed = AtomicUsize::new(usize::MAX);
+    let results = engine.map_indexed(shards.len(), |i| {
+        if i > min_failed.load(Ordering::Relaxed) {
+            return Ok(()); // outranked by a lower failing shard already
+        }
+        let shard = shards[i];
+        let result = verify_random2_shard(
+            nl,
+            shard.len,
+            shard_seed(seed, STREAM_VERIFY, shard.index as u64),
+            &widths,
+            &f,
+        );
+        if result.is_err() {
+            min_failed.fetch_min(i, Ordering::Relaxed);
+        }
+        result
+    });
+    results.into_iter().find(Result::is_err).unwrap_or(Ok(()))
 }
 
 #[cfg(test)]
@@ -212,5 +387,32 @@ mod tests {
     fn random_verification_matches_exhaustive_result() {
         let nl = adder(16);
         verify_random2(&nl, 5_000, 7, |a, b| (a + b) & 0x1_FFFF).unwrap();
+    }
+
+    #[test]
+    fn parallel_verdicts_match_serial_for_any_thread_count() {
+        let nl = adder(8);
+        let good = |a: u64, b: u64| (a + b) & 0x1FF;
+        let bad = |a: u64, b: u64| (a + b + u64::from(a == 3 && b == 5)) & 0x1FF;
+        // a 1-in-256 fault so the random check hits it with certainty
+        let bad_often = |a: u64, b: u64| (a + b + u64::from(a == 3)) & 0x1FF;
+        let serial_bad = verify_exhaustive2(&nl, bad).unwrap_err();
+        let serial_rand = verify_random2(&nl, 50_000, 9, bad_often).unwrap_err();
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(threads);
+            verify_exhaustive2_with(&nl, &engine, good).unwrap();
+            assert_eq!(
+                verify_exhaustive2_with(&nl, &engine, bad).unwrap_err(),
+                serial_bad
+            );
+            verify_random2_with(&nl, 40_000, 9, &engine, good).unwrap();
+            // serial and parallel random verification share shard streams,
+            // and the lowest failing shard wins: identical counterexample
+            assert_eq!(
+                verify_random2_with(&nl, 50_000, 9, &engine, bad_often).unwrap_err(),
+                serial_rand,
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -16,7 +16,7 @@
 //!   of a chosen [`FaType`]; the `m` MSBs use accurate full adders.
 
 use crate::traits::{ApxOperator, OpClass};
-use crate::util::{bit, mask_u};
+use crate::util::{bit, bitsliced_batch, mask_u};
 use apx_cells::CellKind;
 use apx_netlist::{Netlist, NetlistBuilder};
 use serde::{Deserialize, Serialize};
@@ -245,6 +245,31 @@ impl ApxOperator for Aca {
         }
         out
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Bitsliced twin of the scalar model: propagate/generate words,
+        // one speculative chain per output bit over 64 lanes at once.
+        let (n, p) = (self.n as usize, self.p as usize);
+        bitsliced_batch(self.n, a, b, out, |aw, bw, ow| {
+            let mut ps = [0u64; 64];
+            let mut gs = [0u64; 64];
+            for i in 0..n {
+                ps[i] = aw[i] ^ bw[i];
+                gs[i] = aw[i] & bw[i];
+            }
+            for i in 0..n {
+                let lo = i.saturating_sub(p);
+                if i == lo {
+                    ow[i] = ps[i];
+                    continue;
+                }
+                let mut carry = gs[lo];
+                for j in lo + 1..i {
+                    carry = (ps[j] & carry) | gs[j];
+                }
+                ow[i] = ps[i] ^ carry;
+            }
+        });
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let p = self.p as usize;
@@ -275,6 +300,40 @@ impl ApxOperator for Aca {
         nl.prune_dead_gates();
         nl
     }
+}
+
+/// Bitsliced batch kernel shared by the block-speculation adders: block
+/// size `x`, speculation window `window` bits (`2x` for ETAIV, `x` for
+/// ETAII). Each block's carry-in is the carry out of a zero-cin
+/// propagate/generate chain over the window below it; the block itself
+/// ripples word-parallel over 64 lanes.
+fn eta_eval_batch(n: u32, x: u32, window: u32, a: &[u64], b: &[u64], out: &mut [u64]) {
+    let (n, x, window) = (n as usize, x as usize, window as usize);
+    bitsliced_batch(n as u32, a, b, out, |aw, bw, ow| {
+        let mut ps = [0u64; 64];
+        let mut gs = [0u64; 64];
+        for i in 0..n {
+            ps[i] = aw[i] ^ bw[i];
+            gs[i] = aw[i] & bw[i];
+        }
+        for k in 0..n / x {
+            let blo = k * x;
+            let mut c = if k == 0 {
+                0
+            } else {
+                let lo = blo.saturating_sub(window);
+                let mut carry = gs[lo];
+                for j in lo + 1..blo {
+                    carry = (ps[j] & carry) | gs[j];
+                }
+                carry
+            };
+            for i in blo..blo + x {
+                ow[i] = ps[i] ^ c;
+                c = gs[i] | (ps[i] & c);
+            }
+        }
+    });
 }
 
 /// Error-Tolerant Adder type IV `ETAIV(n, x)` — Zhu et al., ISOCC 2010.
@@ -335,6 +394,9 @@ impl ApxOperator for EtaIv {
             out |= ((sa + sb + cin) & mask_u(x)) << blo;
         }
         out
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        eta_eval_batch(self.n, self.x, 2 * self.x, a, b, out);
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
@@ -425,6 +487,9 @@ impl ApxOperator for EtaIi {
         }
         out
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        eta_eval_batch(self.n, self.x, self.x, a, b, out);
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let x = self.x as usize;
@@ -478,10 +543,20 @@ impl FaType {
     #[inline]
     #[must_use]
     pub fn apply(self, a: u64, b: u64, c: u64) -> (u64, u64) {
+        let (s, co) = self.apply64(a, b, c);
+        (s & 1, co & 1)
+    }
+
+    /// 64-lane form of [`FaType::apply`]: every bit position is one
+    /// independent lane, so a whole batch of full-adder cells evaluates
+    /// in a handful of word operations.
+    #[inline]
+    #[must_use]
+    pub fn apply64(self, a: u64, b: u64, c: u64) -> (u64, u64) {
         let maj = (a & b) | (a & c) | (b & c);
         match self {
-            FaType::One => (((1 ^ a) & (b | c)) | (a & b & c), maj),
-            FaType::Two => (1 ^ maj, maj),
+            FaType::One => ((!a & (b | c)) | (a & b & c), maj),
+            FaType::Two => (!maj, maj),
             FaType::Three => (b, a),
         }
     }
@@ -556,6 +631,25 @@ impl ApxOperator for RcaApx {
             }
         }
         out
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // One approximate/exact full-adder cell per bit, 64 lanes per
+        // word op — the same cell row the netlist instantiates.
+        let (n, na) = (self.n as usize, (self.n - self.m) as usize);
+        let fa_type = self.fa_type;
+        bitsliced_batch(self.n, a, b, out, |aw, bw, ow| {
+            let mut c = 0u64;
+            for i in 0..n {
+                if i < na {
+                    let (s, cn) = fa_type.apply64(aw[i], bw[i], c);
+                    ow[i] = s;
+                    c = cn;
+                } else {
+                    ow[i] = aw[i] ^ bw[i] ^ c;
+                    c = (aw[i] & bw[i]) | (aw[i] & c) | (bw[i] & c);
+                }
+            }
+        });
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
@@ -798,6 +892,53 @@ mod tests {
         assert!(rate < 0.5, "errors should be the minority: {rate}");
         assert!(rate > 0.001, "but they must exist: {rate}");
         assert!(max_abs >= 1 << 4, "speculation failures are high-amplitude");
+    }
+
+    #[test]
+    fn bitsliced_batches_match_scalar_eval_exhaustively() {
+        let ops: Vec<Box<dyn ApxOperator>> = vec![
+            Box::new(Aca::new(8, 1)),
+            Box::new(Aca::new(8, 3)),
+            Box::new(Aca::new(8, 8)),
+            Box::new(EtaIv::new(8, 2)),
+            Box::new(EtaIv::new(8, 4)),
+            Box::new(EtaIi::new(8, 2)),
+            Box::new(EtaIi::new(8, 8)),
+            Box::new(RcaApx::new(8, 0, FaType::One)),
+            Box::new(RcaApx::new(8, 3, FaType::Two)),
+            Box::new(RcaApx::new(8, 5, FaType::Three)),
+        ];
+        // all 65536 operand pairs in batches of 256 (4 transposed chunks)
+        for op in ops {
+            let mut batch_a = Vec::new();
+            let mut batch_b = Vec::new();
+            let mut out = vec![0u64; 256];
+            for a in 0..256u64 {
+                batch_a.clear();
+                batch_b.clear();
+                for b in 0..256u64 {
+                    batch_a.push(a);
+                    batch_b.push(b);
+                }
+                op.eval_batch(&batch_a, &batch_b, &mut out);
+                for (b, &got) in out.iter().enumerate() {
+                    let want = op.eval_u(a, b as u64);
+                    assert_eq!(got, want, "{} a={a} b={b}", op.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_batch_applies_shift_and_mask() {
+        let op = AddTrunc::new(12, 8);
+        let a: Vec<u64> = (0..100u64).map(|i| (i * 41) & 0xFFF).collect();
+        let b: Vec<u64> = (0..100u64).map(|i| (i * 173) & 0xFFF).collect();
+        let mut out = vec![0u64; 100];
+        op.aligned_batch(&a, &b, &mut out);
+        for i in 0..100 {
+            assert_eq!(out[i], op.aligned_u(a[i], b[i]));
+        }
     }
 
     #[test]

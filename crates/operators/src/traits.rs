@@ -77,6 +77,58 @@ pub trait ApxOperator: Send + Sync {
     /// Raw output of the operator for masked unsigned operand patterns.
     fn eval_u(&self, a: u64, b: u64) -> u64;
 
+    /// Batched form of [`ApxOperator::eval_u`]: `out[i] = eval_u(a[i],
+    /// b[i])`.
+    ///
+    /// The default is the scalar loop; operators whose scalar model walks
+    /// the bits one by one (the speculative and approximate-cell adders)
+    /// override it with a 64-lane bitsliced kernel — the same
+    /// transpose-and-sweep trick as the gate-level
+    /// [`apx_netlist::Sim64`], applied to the functional model. Overrides
+    /// must be extensionally equal to the scalar loop; a property test
+    /// pins this for every operator family.
+    ///
+    /// # Panics
+    /// Panics unless `a`, `b` and `out` have equal lengths.
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = self.eval_u(ai, bi);
+        }
+    }
+
+    /// Batched form of [`ApxOperator::reference_u`].
+    ///
+    /// # Panics
+    /// Panics unless `a`, `b` and `out` have equal lengths.
+    fn reference_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = self.reference_u(ai, bi);
+        }
+    }
+
+    /// Batched form of [`ApxOperator::aligned_u`], built on
+    /// [`ApxOperator::eval_batch`] so bitsliced overrides accelerate the
+    /// error-characterization path for free.
+    ///
+    /// # Panics
+    /// Panics unless `a`, `b` and `out` have equal lengths.
+    fn aligned_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        self.eval_batch(a, b, out);
+        let shift = self.output_shift();
+        let mask = mask_u(self.ref_bits());
+        for o in out.iter_mut() {
+            *o = (*o << shift) & mask;
+        }
+    }
+
     /// Exact reference output at [`ApxOperator::ref_bits`] width.
     fn reference_u(&self, a: u64, b: u64) -> u64 {
         let n = self.input_bits();

@@ -54,6 +54,63 @@ pub(crate) fn bit(v: u64, i: u32) -> u64 {
     (v >> i) & 1
 }
 
+/// Transposes up to 64 operand values into per-bit lane words:
+/// `words[bit]` holds lane `l` iff bit `bit` of `values[l]` is set — the
+/// functional-model twin of `apx_netlist::pack_operand`, on a caller
+/// provided stack buffer so batched evaluation never allocates.
+#[inline]
+pub(crate) fn transpose_lanes(values: &[u64], width: u32, words: &mut [u64; 64]) {
+    debug_assert!(values.len() <= 64 && width <= 64);
+    words[..width as usize].fill(0);
+    for (lane, &v) in values.iter().enumerate() {
+        for (b, word) in words[..width as usize].iter_mut().enumerate() {
+            *word |= ((v >> b) & 1) << lane;
+        }
+    }
+}
+
+/// Inverse of [`transpose_lanes`]: scatters per-bit lane words back into
+/// `out` values.
+#[inline]
+pub(crate) fn untranspose_lanes(words: &[u64; 64], width: u32, out: &mut [u64]) {
+    debug_assert!(out.len() <= 64 && width <= 64);
+    out.fill(0);
+    for (b, &word) in words[..width as usize].iter().enumerate() {
+        for (lane, v) in out.iter_mut().enumerate() {
+            *v |= ((word >> lane) & 1) << b;
+        }
+    }
+}
+
+/// Drives a bitsliced kernel over a batch of any length: operands are
+/// transposed 64 lanes at a time, `kernel(aw, bw, ow)` computes all
+/// output bit-words, and the result is transposed back into `out`.
+///
+/// # Panics
+/// Panics unless `a`, `b` and `out` have equal lengths.
+#[inline]
+pub(crate) fn bitsliced_batch(
+    width: u32,
+    a: &[u64],
+    b: &[u64],
+    out: &mut [u64],
+    kernel: impl Fn(&[u64; 64], &[u64; 64], &mut [u64; 64]),
+) {
+    assert!(
+        a.len() == b.len() && a.len() == out.len(),
+        "batch length mismatch"
+    );
+    let mut aw = [0u64; 64];
+    let mut bw = [0u64; 64];
+    let mut ow = [0u64; 64];
+    for ((ac, bc), oc) in a.chunks(64).zip(b.chunks(64)).zip(out.chunks_mut(64)) {
+        transpose_lanes(ac, width, &mut aw);
+        transpose_lanes(bc, width, &mut bw);
+        kernel(&aw, &bw, &mut ow);
+        untranspose_lanes(&ow, width, oc);
+    }
+}
+
 /// Signed difference between two `bits`-bit patterns, interpreted as the
 /// nearest distance on the mod-2^bits circle:
 /// `((reference - approx + 2^(bits-1)) mod 2^bits) - 2^(bits-1)`.

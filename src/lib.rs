@@ -25,6 +25,7 @@
 pub use apx_apps as apps;
 pub use apx_cells as cells;
 pub use apx_core as core;
+pub use apx_engine as engine;
 pub use apx_fixture as fixture;
 pub use apx_metrics as metrics;
 pub use apx_netlist as netlist;
@@ -38,7 +39,8 @@ pub mod prelude {
     };
     pub use apx_cells::{CellKind, CellSpec, Library, OperatingPoint};
     pub use apx_core::{
-        appenergy, sweeps, Characterizer, CharacterizerSettings, OperatorReport, ParetoPoint,
+        appenergy, sweeps, Characterizer, CharacterizerSettings, Engine, OperatorReport,
+        ParetoPoint,
     };
     pub use apx_fixture::{clusters, image, signal};
     pub use apx_metrics::{mssim, psnr_db, ErrorStats, QualityScore};

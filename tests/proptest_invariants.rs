@@ -22,6 +22,12 @@ fn arb_adder_config() -> impl Strategy<Value = OperatorConfig> {
             })
             .prop_map(|(n, x)| OperatorConfig::EtaIv { n, x }),
         (2u32..=10)
+            .prop_flat_map(|n| {
+                let divisors: Vec<u32> = (1..=n).filter(|x| n % x == 0).collect();
+                (Just(n), proptest::sample::select(divisors))
+            })
+            .prop_map(|(n, x)| OperatorConfig::EtaIi { n, x }),
+        (2u32..=10)
             .prop_flat_map(|n| (Just(n), 0..=n, 0usize..3))
             .prop_map(|(n, m, t)| OperatorConfig::RcaApx {
                 n,
@@ -37,10 +43,30 @@ fn arb_mult_config() -> impl Strategy<Value = OperatorConfig> {
         (2u32..=8)
             .prop_flat_map(|n| (Just(n), 1..=2 * n))
             .prop_map(|(n, q)| { OperatorConfig::MulTrunc { n, q } }),
+        (2u32..=8)
+            .prop_flat_map(|n| (Just(n), 1..2 * n))
+            .prop_map(|(n, q)| { OperatorConfig::MulRound { n, q } }),
         (2u32..=4).prop_map(|k| OperatorConfig::MulBooth { n: 2 * k }),
         (4u32..=8).prop_map(|n| OperatorConfig::Aam { n }),
         (2u32..=4).prop_map(|k| OperatorConfig::Abm { n: 2 * k }),
+        (2u32..=4).prop_map(|k| OperatorConfig::AbmUncorrected { n: 2 * k }),
     ]
+}
+
+/// Deterministic operand batch spanning several 64-lane bitslice chunks
+/// (so transposition edges and ragged tails are exercised).
+fn batch_operands(seed: u64, len: usize, mask: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let a = (0..len).map(|_| next() & mask).collect();
+    let b = (0..len).map(|_| next() & mask).collect();
+    (a, b)
 }
 
 proptest! {
@@ -95,6 +121,32 @@ proptest! {
         sim.set_bus_lanes("b", &[b]);
         sim.run();
         prop_assert_eq!(sim.read_bus_lanes("y", 1)[0], op.eval_u(a, b));
+    }
+
+    /// Batched evaluation is extensionally equal to the scalar model for
+    /// every operator config family — the contract that lets the bitsliced
+    /// `eval_batch` overrides (ACA/ETA/RCAApx) stand in for per-sample
+    /// loops in the characterization engine.
+    #[test]
+    fn eval_batch_matches_scalar_eval(
+        config in prop_oneof![arb_adder_config(), arb_mult_config()],
+        seed in any::<u64>(),
+        len in 1usize..200,
+    ) {
+        let op = config.build();
+        let mask = mask_u(op.input_bits());
+        let (a, b) = batch_operands(seed, len, mask);
+        let mut raw = vec![0u64; len];
+        let mut aligned = vec![0u64; len];
+        let mut reference = vec![0u64; len];
+        op.eval_batch(&a, &b, &mut raw);
+        op.aligned_batch(&a, &b, &mut aligned);
+        op.reference_batch(&a, &b, &mut reference);
+        for i in 0..len {
+            prop_assert_eq!(raw[i], op.eval_u(a[i], b[i]), "{} raw lane {}", op.name(), i);
+            prop_assert_eq!(aligned[i], op.aligned_u(a[i], b[i]), "{} aligned lane {}", op.name(), i);
+            prop_assert_eq!(reference[i], op.reference_u(a[i], b[i]), "{} ref lane {}", op.name(), i);
+        }
     }
 
     /// centered_diff is a metric-compatible signed distance.

@@ -1,0 +1,458 @@
+//! Offline stand-in for the subset of the `rayon` crate used by this
+//! workspace: a scoped, work-stealing thread pool.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the API surface the workspace consumes —
+//! [`ThreadPoolBuilder`], [`ThreadPool::scope`], [`Scope::spawn`],
+//! [`current_num_threads`] and the free [`scope`]/[`join`] functions —
+//! with a much simpler runtime than upstream:
+//!
+//! * Worker threads are spawned per parallel region through
+//!   [`std::thread::scope`] instead of being parked persistently. Regions
+//!   in this workspace process 10³–10⁷ samples, so region setup cost is
+//!   noise; in exchange the implementation needs no `unsafe` at all.
+//! * Tasks are distributed round-robin over per-worker queues; an idle
+//!   worker first drains its own queue LIFO (cache-friendly for nested
+//!   spawns), then steals FIFO from its siblings — the classic
+//!   work-stealing discipline, with mutex-protected deques standing in
+//!   for upstream's lock-free Chase-Lev deques.
+//!
+//! Scheduling order is therefore nondeterministic exactly like upstream:
+//! callers must not rely on task execution order, only on the barrier at
+//! the end of [`ThreadPool::scope`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Number of threads the free functions ([`scope`], [`join`]) use: the
+/// machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stand-in cannot
+/// actually fail to build, but the upstream signature is preserved.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring upstream's API.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (machine parallelism).
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; `0` (the default) means the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in; the `Result` matches upstream.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped work-stealing thread pool.
+///
+/// Worker threads live for the duration of each [`ThreadPool::scope`]
+/// call (see the crate docs for why), so the pool itself is a trivially
+/// cloneable handle.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// A task queued inside one parallel region. The `'env` lifetime lets
+/// tasks borrow everything that outlives the `scope` call, exactly like
+/// upstream's `Scope<'scope>`.
+type Task<'env> = Box<dyn FnOnce(&Scope<'_, 'env>) + Send + 'env>;
+
+/// Counters shared by all workers of one region.
+#[derive(Debug, Default)]
+struct RegionState {
+    /// Tasks pushed but not yet popped.
+    queued: usize,
+    /// Tasks spawned but not yet finished running (includes queued).
+    unfinished: usize,
+    /// No further spawns can come from outside a task (the scope closure
+    /// has returned).
+    closed: bool,
+}
+
+/// Everything shared by the workers of one parallel region.
+struct Region<'env> {
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    state: Mutex<RegionState>,
+    cv: Condvar,
+    next: AtomicUsize,
+    /// First panic payload caught from a task; resumed after the barrier
+    /// (upstream's behavior: a panicking task poisons the scope but the
+    /// remaining tasks still run to completion).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Region<'env> {
+    fn new(workers: usize) -> Self {
+        Region {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(RegionState::default()),
+            cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Queues a task (round-robin placement over the worker deques).
+    fn push(&self, task: Task<'env>) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(task);
+        let mut state = self.state.lock().unwrap();
+        state.queued += 1;
+        state.unfinished += 1;
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Takes one queued task: own queue from the back (LIFO), then steal
+    /// from siblings from the front (FIFO). Only called after a slot was
+    /// reserved by decrementing `queued`, so a task is guaranteed to be
+    /// present; the retry loop covers the window in which another worker
+    /// holds "our" task's queue lock.
+    fn take(&self, me: usize) -> Task<'env> {
+        loop {
+            if let Some(task) = self.queues[me].lock().unwrap().pop_back() {
+                return task;
+            }
+            for victim in self
+                .queues
+                .iter()
+                .cycle()
+                .skip(me + 1)
+                .take(self.queues.len())
+            {
+                if let Some(task) = victim.lock().unwrap().pop_front() {
+                    return task;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Marks one task finished; wakes everyone when the region drains.
+    fn finish_one(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.unfinished -= 1;
+        if state.closed && state.unfinished == 0 {
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Marks the region closed (the scope closure returned).
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// One worker: run tasks until the region is closed and drained.
+    fn work(&self, me: usize) {
+        let scope = Scope { region: self };
+        loop {
+            let mut state = self.state.lock().unwrap();
+            loop {
+                if state.queued > 0 {
+                    state.queued -= 1;
+                    drop(state);
+                    let task = self.take(me);
+                    // The guard marks the task finished even if it
+                    // unwinds: a panicking task must not strand
+                    // `unfinished` above zero, or every sibling (and the
+                    // joining caller) would wait forever. The unwind is
+                    // caught so this worker keeps draining the region;
+                    // the first payload resurfaces after the barrier.
+                    let guard = FinishGuard { region: self };
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        task(&scope);
+                    }));
+                    drop(guard);
+                    if let Err(payload) = result {
+                        self.panic.lock().unwrap().get_or_insert(payload);
+                    }
+                    break;
+                }
+                if state.closed && state.unfinished == 0 {
+                    return;
+                }
+                state = self.cv.wait(state).unwrap();
+            }
+        }
+    }
+}
+
+/// Calls [`Region::finish_one`] on drop — including during unwinding.
+struct FinishGuard<'region, 'env> {
+    region: &'region Region<'env>,
+}
+
+impl Drop for FinishGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.region.finish_one();
+    }
+}
+
+/// Calls [`Region::close`] on drop — including during unwinding.
+struct CloseGuard<'region, 'env> {
+    region: &'region Region<'env>,
+}
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.region.close();
+    }
+}
+
+/// Handle for spawning tasks into a parallel region; the analogue of
+/// upstream's `Scope<'scope>`.
+pub struct Scope<'region, 'env> {
+    region: &'region Region<'env>,
+}
+
+impl<'region, 'env> Scope<'region, 'env> {
+    /// Queues `f` to run on one of the region's workers. Tasks may spawn
+    /// further tasks through the `&Scope` they receive.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        self.region.push(Box::new(f));
+    }
+}
+
+impl fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Scope { .. }")
+    }
+}
+
+impl ThreadPool {
+    /// The number of worker threads each parallel region runs.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a parallel region: `f` receives a [`Scope`] to spawn tasks
+    /// on the pool's workers and every spawned task completes before
+    /// `scope` returns (the fork-join barrier). A panic inside a task
+    /// still drains the region, then resurfaces from the join (so
+    /// `scope` panics rather than deadlocks).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let region = Region::new(self.threads.max(1));
+        let result = std::thread::scope(|ts| {
+            for me in 0..self.threads.max(1) {
+                let region = &region;
+                ts.spawn(move || region.work(me));
+            }
+            let scope = Scope { region: &region };
+            // Close on drop, not on the success path only: if `f` itself
+            // unwinds, the workers must still be released or the join
+            // below would deadlock instead of re-raising the panic.
+            let _close = CloseGuard { region: &region };
+            f(&scope)
+        });
+        if let Some(payload) = region.panic.lock().unwrap().take() {
+            std::panic::resume_unwind(payload);
+        }
+        result
+    }
+}
+
+/// Runs a parallel region on a transient pool sized to the machine's
+/// available parallelism (upstream's global-pool entry point).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    ThreadPool {
+        threads: current_num_threads(),
+    }
+    .scope(f)
+}
+
+/// Runs both closures and returns their results. Upstream may run them
+/// in parallel; the stand-in runs them sequentially, which satisfies the
+/// same contract (no ordering guarantees between the two).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_every_task_exactly_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for i in 0..1000u64 {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    hits.fetch_add(i + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        // barrier: every task completed before scope returned
+        assert_eq!(hits.load(Ordering::Relaxed), 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_the_barrier() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let hits = &hits;
+                s.spawn(move |s| {
+                    for _ in 0..8 {
+                        s.spawn(move |_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_environment() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let data: Vec<u64> = (0..100).collect();
+        let slots: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for (k, slot) in slots.iter().enumerate() {
+                let data = &data;
+                s.spawn(move |_| {
+                    *slot.lock().unwrap() = data.iter().skip(k).step_by(4).sum();
+                });
+            }
+        });
+        let total: u64 = slots.iter().map(|s| *s.lock().unwrap()).sum();
+        assert_eq!(total, data.iter().sum());
+    }
+
+    #[test]
+    fn single_thread_pool_still_drains() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let hits = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value_and_join_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = pool.scope(|_| 42);
+        assert_eq!(r, 42);
+        let (a, b) = join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn panicking_task_panics_the_scope_instead_of_deadlocking() {
+        for threads in [1, 3] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let done = AtomicU64::new(0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    for i in 0..16u64 {
+                        let done = &done;
+                        s.spawn(move |_| {
+                            assert!(i != 7, "boom");
+                            done.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            // the barrier still drained every non-panicking task, and the
+            // panic surfaced instead of hanging the join
+            assert!(result.is_err(), "threads={threads}");
+            assert_eq!(done.load(Ordering::Relaxed), 15, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_scope_closure_panics_instead_of_deadlocking() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|_| panic!("closure boom"));
+        }));
+        assert!(result.is_err());
+        // and the pool is still usable afterwards
+        assert_eq!(pool.scope(|_| 5), 5);
+    }
+
+    #[test]
+    fn builder_defaults_to_machine_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), current_num_threads());
+        assert!(pool.current_num_threads() >= 1);
+    }
+}
