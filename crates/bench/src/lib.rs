@@ -1,181 +1,13 @@
-//! Shared plumbing for the reproduction binaries: a tiny CLI argument
-//! parser, aligned table printing, adder-family tagging and the
-//! quick-vs-full characterizer presets.
+//! Criterion benchmark suite of the workspace (operators, netlist,
+//! apps, ablations).
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` §3 for the index) and accepts:
-//!
-//! * `--samples N` — error-characterization samples (default 100 000)
-//! * `--vectors N` — gate-level power vectors (default 1 500)
-//! * `--seed N` — master seed
-//! * `--size N` — workload size where applicable (image edge, FFT length)
-//! * `--threads N` — engine worker count (default: `APXPERF_THREADS`,
-//!   else the machine's parallelism). Never changes any reported number —
-//!   sharded seed streams make reports bit-identical across thread counts.
+//! The per-figure/per-table reproduction **binaries** that used to live
+//! in `src/bin/` moved into the unified `apxperf` CLI (`crates/cli`):
+//! what was `cargo run -p apx_bench --bin fig3_adders_mse` is now
+//! `apxperf fig3`, with shared flag parsing, a `--format json|csv|tty`
+//! switch and the content-addressed report cache underneath. This crate
+//! now carries only the `benches/` targets, which measure the raw
+//! compute paths and therefore bypass the cache by design.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-use apx_cells::Library;
-use apx_core::{Characterizer, CharacterizerSettings, Engine};
-use apx_operators::OperatorConfig;
-use std::collections::HashMap;
-
-/// Parsed `--key value` command-line options.
-#[derive(Debug, Clone, Default)]
-pub struct Options {
-    map: HashMap<String, String>,
-}
-
-impl Options {
-    /// Parses `std::env::args()`.
-    #[must_use]
-    pub fn from_env() -> Self {
-        let mut map = HashMap::new();
-        let mut args = std::env::args().skip(1);
-        while let Some(key) = args.next() {
-            if let Some(name) = key.strip_prefix("--") {
-                if let Some(value) = args.next() {
-                    map.insert(name.to_owned(), value);
-                }
-            }
-        }
-        Options { map }
-    }
-
-    /// Integer option with a default.
-    #[must_use]
-    pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.map
-            .get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// u64 option with a default.
-    #[must_use]
-    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.map
-            .get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    /// String option with a default.
-    #[must_use]
-    pub fn get_str(&self, name: &str, default: &str) -> String {
-        self.map
-            .get(name)
-            .cloned()
-            .unwrap_or_else(|| default.to_owned())
-    }
-}
-
-/// The standard characterizer settings used by the repro binaries.
-#[must_use]
-pub fn settings(opts: &Options) -> CharacterizerSettings {
-    CharacterizerSettings {
-        error_samples: opts.get_usize("samples", 100_000),
-        verify_samples: 2_000,
-        exhaustive_up_to_bits: 16,
-        power_vectors: opts.get_usize("vectors", 1_500),
-        seed: opts.get_u64("seed", 0xDA7E_2017),
-    }
-}
-
-/// Builds the execution engine used by the repro binaries: `--threads N`
-/// wins, otherwise `APXPERF_THREADS`/machine parallelism.
-#[must_use]
-pub fn engine(opts: &Options) -> Engine {
-    match opts.get_usize("threads", 0) {
-        0 => Engine::from_env(),
-        n => Engine::new(n),
-    }
-}
-
-/// Builds the standard characterizer used by the repro binaries.
-#[must_use]
-pub fn characterizer<'a>(lib: &'a Library, opts: &Options) -> Characterizer<'a> {
-    Characterizer::new(lib)
-        .with_settings(settings(opts))
-        .with_engine(engine(opts))
-}
-
-/// Family tag of an adder configuration — matches the legend of
-/// Figs. 3–6.
-#[must_use]
-pub fn family(config: &OperatorConfig) -> &'static str {
-    match config {
-        OperatorConfig::AddExact { .. } => "FxP-exact",
-        OperatorConfig::AddTrunc { .. } => "FxP-trunc",
-        OperatorConfig::AddRound { .. } => "FxP-round",
-        OperatorConfig::Aca { .. } => "ACA",
-        OperatorConfig::EtaIv { .. } => "ETAIV",
-        OperatorConfig::EtaIi { .. } => "ETAII",
-        OperatorConfig::RcaApx { fa_type, .. } => match fa_type {
-            apx_operators::FaType::One => "RCAApx-1",
-            apx_operators::FaType::Two => "RCAApx-2",
-            apx_operators::FaType::Three => "RCAApx-3",
-        },
-        OperatorConfig::MulExact { .. } | OperatorConfig::MulBooth { .. } => "MUL-exact",
-        OperatorConfig::MulTrunc { .. } => "MULt",
-        OperatorConfig::MulRound { .. } => "MULr",
-        OperatorConfig::Aam { .. } => "AAM",
-        OperatorConfig::Abm { .. } => "ABM",
-        OperatorConfig::AbmUncorrected { .. } => "ABMu",
-    }
-}
-
-/// Prints an aligned table: `headers` then `rows`.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (w, cell) in widths.iter_mut().zip(row) {
-            *w = (*w).max(cell.len());
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
-        println!("{}", padded.join("  "));
-    };
-    line(headers.iter().map(|h| (*h).to_owned()).collect());
-    line(widths.iter().map(|w| "-".repeat(*w)).collect());
-    for row in rows {
-        line(row.clone());
-    }
-}
-
-/// Formats a float compactly for table cells.
-#[must_use]
-pub fn fmt(v: f64, decimals: usize) -> String {
-    if v == f64::NEG_INFINITY {
-        "-inf".to_owned()
-    } else if v == f64::INFINITY {
-        "inf".to_owned()
-    } else {
-        format!("{v:.decimals$}")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn family_tags_cover_the_sweeps() {
-        for config in apx_core::sweeps::all_adders_16bit() {
-            assert!(!family(&config).is_empty());
-        }
-    }
-
-    #[test]
-    fn fmt_handles_infinities() {
-        assert_eq!(fmt(f64::INFINITY, 2), "inf");
-        assert_eq!(fmt(f64::NEG_INFINITY, 2), "-inf");
-        assert_eq!(fmt(1.23456, 2), "1.23");
-    }
-}

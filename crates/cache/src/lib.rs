@@ -1,0 +1,540 @@
+//! Content-addressed, on-disk JSON blob cache for characterization
+//! results.
+//!
+//! PR 2 made every [`OperatorReport`] a **pure function of its inputs**:
+//! reports are bit-identical for any thread count under a fixed seed, so
+//! an already-characterized operator configuration never needs to be
+//! re-swept — it can be looked up by the hash of its inputs. This crate
+//! provides that lookup:
+//!
+//! * [`KeyBuilder`] / [`CacheKey`] — a stable (process-, platform- and
+//!   run-independent) 128-bit hash over labelled key material. Callers
+//!   feed in everything a result depends on (operator config, seed,
+//!   sample counts, cell-library fingerprint, schema version); two runs
+//!   that would compute the same result derive the same key.
+//! * [`Cache`] — a directory of `<key>.json` blobs with atomic writes,
+//!   hit/miss/write counters, and graceful degradation: a missing
+//!   directory, an unwritable disk or a corrupted blob never fails the
+//!   caller — the worst case is always "recompute".
+//!
+//! The cache is wired into `apx_core::Characterizer` and the `apxperf`
+//! CLI; the default location is `~/.cache/apxperf` (see
+//! [`Cache::default_dir`]), overridable with `--cache-dir` or the
+//! `APXPERF_CACHE_DIR` environment variable, and `--no-cache` maps to
+//! [`Cache::disabled`].
+//!
+//! # Example
+//!
+//! ```
+//! use apx_cache::{Cache, KeyBuilder};
+//!
+//! let dir = std::env::temp_dir().join(format!("apx_cache_doc_{}", std::process::id()));
+//! let cache = Cache::at(&dir);
+//!
+//! let key = KeyBuilder::new("demo-schema/v1")
+//!     .push_str("operator", "ACA(16,4)")
+//!     .push_u64("seed", 0xDA7E_2017)
+//!     .push_u64("samples", 100_000)
+//!     .finish();
+//!
+//! assert_eq!(cache.get::<Vec<u64>>(&key), None); // cold
+//! cache.put(&key, &vec![1u64, 2, 3]);
+//! assert_eq!(cache.get::<Vec<u64>>(&key), Some(vec![1, 2, 3])); // hit
+//! assert_eq!(cache.stats().hits, 1);
+//!
+//! cache.clear();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! [`OperatorReport`]: https://docs.rs/apx_core
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// FNV-1a 64-bit offset basis (stream 0).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Offset basis of the second, independent stream — the FNV offset run
+/// through a splitmix64 round so the two streams start in unrelated
+/// states.
+const FNV_OFFSET_B: u64 = 0x9E37_79B9_7F4A_7C15 ^ FNV_OFFSET;
+
+/// A 128-bit content hash identifying one cached result.
+///
+/// Keys print as 32 lowercase hex digits (the blob file stem). Equality
+/// of keys is the cache's notion of "same inputs": [`KeyBuilder`]
+/// guarantees the hash is a pure function of the pushed material, stable
+/// across processes, platforms and releases of this crate (any change to
+/// the hashing scheme must be treated as a cache-schema change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// The key as 32 lowercase hex digits.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Accumulates labelled key material into a [`CacheKey`].
+///
+/// Each `push_*` call feeds `label = value ;` into two independent
+/// FNV-1a streams, so reordered, relabelled or differently-split material
+/// produces a different key. Values are encoded as text (decimal for
+/// integers, JSON for structured values), which keeps the hash
+/// independent of endianness and in-memory layout.
+///
+/// # Example
+/// ```
+/// use apx_cache::KeyBuilder;
+/// let a = KeyBuilder::new("s/v1").push_u64("seed", 7).finish();
+/// let b = KeyBuilder::new("s/v1").push_u64("seed", 8).finish();
+/// let c = KeyBuilder::new("s/v2").push_u64("seed", 7).finish();
+/// assert_ne!(a, b); // different value
+/// assert_ne!(a, c); // different schema
+/// assert_eq!(a, KeyBuilder::new("s/v1").push_u64("seed", 7).finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    a: u64,
+    b: u64,
+}
+
+impl KeyBuilder {
+    /// Starts a key under a schema tag. The tag names the blob's shape
+    /// and semantics; bump it whenever the serialized form (or the
+    /// meaning of any keyed field) changes, so stale blobs miss instead
+    /// of deserializing into wrong data.
+    #[must_use]
+    pub fn new(schema: &str) -> Self {
+        KeyBuilder {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+        .push_str("schema", schema)
+    }
+
+    fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds one labelled string field.
+    #[must_use]
+    pub fn push_str(self, label: &str, value: &str) -> Self {
+        self.push_bytes(label.as_bytes())
+            .push_bytes(b"=")
+            .push_bytes(value.as_bytes())
+            .push_bytes(b";")
+    }
+
+    /// Feeds one labelled integer field (decimal encoding).
+    #[must_use]
+    pub fn push_u64(self, label: &str, value: u64) -> Self {
+        self.push_str(label, &value.to_string())
+    }
+
+    /// Feeds one labelled `usize` field (decimal encoding).
+    #[must_use]
+    pub fn push_usize(self, label: &str, value: usize) -> Self {
+        self.push_str(label, &value.to_string())
+    }
+
+    /// Feeds one labelled structured field through its canonical compact
+    /// JSON encoding.
+    #[must_use]
+    pub fn push_json<T: Serialize>(self, label: &str, value: &T) -> Self {
+        let json = serde_json::to_string(value)
+            .expect("serialization to JSON is infallible for key material");
+        self.push_str(label, &json)
+    }
+
+    /// Finalizes the accumulated material into a [`CacheKey`].
+    #[must_use]
+    pub fn finish(self) -> CacheKey {
+        CacheKey {
+            hi: self.a,
+            lo: self.b,
+        }
+    }
+}
+
+/// Hit/miss/write counters of one [`Cache`] handle (shared by clones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Blobs found and successfully deserialized.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent, unreadable or corrupt).
+    pub misses: u64,
+    /// Blobs written.
+    pub writes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    dir: PathBuf,
+    counters: Counters,
+}
+
+/// A content-addressed store of JSON blobs under one directory.
+///
+/// * **Cheap to clone** — clones share the directory and the counters,
+///   so a sweep can hand one handle to every parallel task.
+/// * **Best-effort** — IO failures (missing directory, full or read-only
+///   disk, corrupted blob) are never surfaced as errors; a failed read
+///   counts as a miss and a failed write is dropped. The caller's
+///   fallback is always "recompute", which is exactly what it would have
+///   done without a cache.
+/// * **Self-validating** — a blob that no longer deserializes (truncated
+///   write, schema drift that slipped past the key, manual tampering) is
+///   treated as a miss and deleted so the next `put` replaces it.
+///
+/// See the [crate docs](crate) for a usage example.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Cache {
+    /// A cache rooted at `dir` (created on first write).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Cache {
+            inner: Some(Arc::new(Inner {
+                dir: dir.into(),
+                counters: Counters::default(),
+            })),
+        }
+    }
+
+    /// A disabled cache: every `get` misses, every `put` is dropped.
+    /// This is what `--no-cache` maps to.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Cache { inner: None }
+    }
+
+    /// The default on-disk location, in precedence order:
+    /// `$APXPERF_CACHE_DIR`, `$XDG_CACHE_HOME/apxperf`,
+    /// `$HOME/.cache/apxperf`. `None` when none of the variables is set
+    /// (e.g. a bare CI environment), in which case callers should fall
+    /// back to [`Cache::disabled`].
+    #[must_use]
+    pub fn default_dir() -> Option<PathBuf> {
+        let nonempty = |var: &str| std::env::var_os(var).filter(|v| !v.is_empty());
+        if let Some(dir) = nonempty("APXPERF_CACHE_DIR") {
+            return Some(PathBuf::from(dir));
+        }
+        if let Some(base) = nonempty("XDG_CACHE_HOME") {
+            return Some(PathBuf::from(base).join("apxperf"));
+        }
+        nonempty("HOME").map(|home| PathBuf::from(home).join(".cache").join("apxperf"))
+    }
+
+    /// A cache at [`Cache::default_dir`], or a disabled one when no
+    /// default location exists.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Cache::default_dir() {
+            Some(dir) => Cache::at(dir),
+            None => Cache::disabled(),
+        }
+    }
+
+    /// Whether lookups can ever hit (i.e. the cache has a directory).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The backing directory (`None` for a disabled cache).
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.as_deref().map(|inner| inner.dir.as_path())
+    }
+
+    fn blob_path(inner: &Inner, key: &CacheKey) -> PathBuf {
+        inner.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up `key` and deserializes the blob into `T`.
+    ///
+    /// Absent, unreadable and corrupt blobs all return `None` (and count
+    /// as misses); corrupt blobs are additionally deleted so they cannot
+    /// shadow a future write.
+    #[must_use]
+    pub fn get<T: Deserialize>(&self, key: &CacheKey) -> Option<T> {
+        let inner = self.inner.as_deref()?;
+        let path = Cache::blob_path(inner, key);
+        let parsed = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<T>(&text).ok());
+        match parsed {
+            Some(value) => {
+                inner.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                // distinguish "nothing there" (plain miss) from "there
+                // but unusable" (corrupt: delete so a put can heal it)
+                if path.exists() {
+                    std::fs::remove_file(&path).ok();
+                }
+                inner.counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, atomically (write to a temporary file
+    /// in the same directory, then rename): a concurrent reader sees
+    /// either the old blob or the new one, never a torn write. Failures
+    /// are dropped — the cache is an accelerator, not a system of record.
+    pub fn put<T: Serialize>(&self, key: &CacheKey, value: &T) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let Ok(json) = serde_json::to_string_pretty(value) else {
+            return;
+        };
+        if std::fs::create_dir_all(&inner.dir).is_err() {
+            return;
+        }
+        let path = Cache::blob_path(inner, key);
+        // unique per process AND per call: concurrent same-key puts from
+        // engine threads (e.g. every approximate adder storing the shared
+        // full-width partner multiplier) must never share a temp file, or
+        // one writer's truncate could tear another's in-flight blob
+        static PUT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = PUT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = inner
+            .dir
+            .join(format!("{key}.tmp.{}.{seq}", std::process::id()));
+        if std::fs::write(&tmp, json + "\n").is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            inner.counters.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+
+    /// Number of blobs currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blob_paths().len()
+    }
+
+    /// Whether the cache holds no blobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deletes every blob; returns how many were removed.
+    pub fn clear(&self) -> usize {
+        self.blob_paths()
+            .into_iter()
+            .filter(|path| std::fs::remove_file(path).is_ok())
+            .count()
+    }
+
+    fn blob_paths(&self) -> Vec<PathBuf> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let Ok(entries) = std::fs::read_dir(&inner.dir) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+            .collect()
+    }
+
+    /// This handle's counters (shared across clones).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        match self.inner.as_deref() {
+            Some(inner) => CacheStats {
+                hits: inner.counters.hits.load(Ordering::Relaxed),
+                misses: inner.counters.misses.load(Ordering::Relaxed),
+                writes: inner.counters.writes.load(Ordering::Relaxed),
+            },
+            None => CacheStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static TEST_DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+    /// A unique, self-cleaning temp directory per test.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            let id = TEST_DIR_ID.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("apx_cache_test_{}_{id}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn key(tag: &str) -> CacheKey {
+        KeyBuilder::new("test/v1").push_str("tag", tag).finish()
+    }
+
+    #[test]
+    fn put_then_get_roundtrips() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let k = key("roundtrip");
+        assert_eq!(cache.get::<Vec<u64>>(&k), None);
+        cache.put(&k, &vec![1u64, 2, 3]);
+        assert_eq!(cache.get::<Vec<u64>>(&k), Some(vec![1, 2, 3]));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                writes: 1
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_depend_on_labels_values_and_order() {
+        let base = KeyBuilder::new("s").push_str("a", "1").push_str("b", "2");
+        let same = KeyBuilder::new("s").push_str("a", "1").push_str("b", "2");
+        assert_eq!(base.clone().finish(), same.finish());
+        let swapped = KeyBuilder::new("s").push_str("b", "2").push_str("a", "1");
+        assert_ne!(base.clone().finish(), swapped.finish());
+        let relabelled = KeyBuilder::new("s").push_str("a1", "").push_str("b", "2");
+        assert_ne!(base.clone().finish(), relabelled.finish());
+        let json = KeyBuilder::new("s").push_json("a", &(1u64, 2u64)).finish();
+        assert_ne!(base.finish(), json);
+    }
+
+    #[test]
+    fn key_hex_is_stable_and_32_digits() {
+        let k = KeyBuilder::new("pinned/v1").push_u64("x", 42).finish();
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(k.hex(), k.to_string());
+        // pinned value: the hash must never change across releases, or
+        // every existing cache silently goes cold
+        assert_eq!(k, KeyBuilder::new("pinned/v1").push_u64("x", 42).finish());
+    }
+
+    #[test]
+    fn corrupted_blob_is_a_miss_and_gets_deleted() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let k = key("corrupt");
+        cache.put(&k, &vec![9u64]);
+        let path = tmp.0.join(format!("{k}.json"));
+        std::fs::write(&path, "{not json at all").unwrap();
+        assert_eq!(cache.get::<Vec<u64>>(&k), None);
+        assert!(!path.exists(), "corrupt blob must be deleted");
+        // and a fresh put heals it
+        cache.put(&k, &vec![7u64]);
+        assert_eq!(cache.get::<Vec<u64>>(&k), Some(vec![7]));
+    }
+
+    #[test]
+    fn wrong_shape_blob_is_a_miss() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let k = key("shape");
+        cache.put(&k, &"a string".to_owned());
+        // valid JSON, wrong type for the requested T
+        assert_eq!(cache.get::<Vec<u64>>(&k), None);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_or_hits() {
+        let cache = Cache::disabled();
+        let k = key("disabled");
+        cache.put(&k, &vec![1u64]);
+        assert_eq!(cache.get::<Vec<u64>>(&k), None);
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.dir(), None);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_removes_all_blobs() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        for i in 0..5u64 {
+            cache.put(&key(&format!("blob{i}")), &i);
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.clear(), 5);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage_and_counters() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let clone = cache.clone();
+        let k = key("shared");
+        clone.put(&k, &vec![5u64]);
+        assert_eq!(cache.get::<Vec<u64>>(&k), Some(vec![5]));
+        assert_eq!(cache.stats().writes, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn default_dir_honours_env_precedence() {
+        // only inspects the pure path computation; the variables
+        // themselves are process-global, so don't mutate them here
+        if std::env::var_os("APXPERF_CACHE_DIR").is_none()
+            && std::env::var_os("XDG_CACHE_HOME").is_none()
+        {
+            if let Some(dir) = Cache::default_dir() {
+                assert!(dir.ends_with(".cache/apxperf"));
+            }
+        }
+    }
+}

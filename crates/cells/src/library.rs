@@ -213,7 +213,7 @@ impl Library {
     ///
     /// # Panics
     /// Panics if the library is missing the cell, which cannot happen for
-    /// the built-in presets (checked by tests over [`ALL_CELL_KINDS`]).
+    /// the built-in presets (checked by tests over [`crate::ALL_CELL_KINDS`]).
     #[must_use]
     pub fn spec(&self, kind: CellKind) -> &CellSpec {
         self.cells

@@ -1,0 +1,455 @@
+//! The one shared argument parser behind every `apxperf` subcommand.
+//!
+//! Before the unified CLI, each of the twelve repro binaries hand-rolled
+//! its own `--key value` loop with slightly different flag sets and help
+//! text. This module replaces all of them: flags are declared once in
+//! [`FLAGS`] with their defaults and help strings, every subcommand names
+//! the subset it accepts, and both parsing and `--help` rendering are
+//! derived from the same table — so usage output is consistent by
+//! construction.
+
+use apx_cache::Cache;
+use apx_core::{CharacterizerSettings, Engine};
+use std::path::PathBuf;
+
+/// Verification vectors used by all CLI runs (the repro preset).
+const VERIFY_SAMPLES: usize = 2_000;
+/// Exhaustive-verification bound used by all CLI runs.
+const EXHAUSTIVE_UP_TO_BITS: u32 = 16;
+
+/// One declared flag: spelling, value placeholder (empty for boolean
+/// switches), default shown in help, and help text.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Flag name without the leading `--`.
+    pub name: &'static str,
+    /// Placeholder for the value in usage text; `""` marks a boolean
+    /// switch that takes no value.
+    pub value: &'static str,
+    /// Default rendered in help text.
+    pub default: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// Every flag any subcommand accepts — the single source of truth for
+/// parsing and help rendering.
+pub const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "samples",
+        value: "N",
+        default: "100000",
+        help: "error-characterization samples per operator",
+    },
+    FlagSpec {
+        name: "vectors",
+        value: "N",
+        default: "1500",
+        help: "gate-level power-estimation vectors per operator",
+    },
+    FlagSpec {
+        name: "seed",
+        value: "N",
+        default: "0xDA7E2017",
+        help: "master seed (decimal or 0x-hex); every number derives from it",
+    },
+    FlagSpec {
+        name: "threads",
+        value: "N",
+        default: "auto",
+        help: "engine workers; never changes any reported number, only the wall-clock",
+    },
+    FlagSpec {
+        name: "size",
+        value: "N",
+        default: "128",
+        help: "workload size where applicable (image edge length)",
+    },
+    FlagSpec {
+        name: "sets",
+        value: "N",
+        default: "5",
+        help: "K-means data sets",
+    },
+    FlagSpec {
+        name: "points",
+        value: "N",
+        default: "500",
+        help: "K-means points per set",
+    },
+    FlagSpec {
+        name: "cache-dir",
+        value: "PATH",
+        default: "~/.cache/apxperf",
+        help: "report-cache directory (also via APXPERF_CACHE_DIR)",
+    },
+    FlagSpec {
+        name: "no-cache",
+        value: "",
+        default: "",
+        help: "disable the report cache for this run",
+    },
+    FlagSpec {
+        name: "format",
+        value: "json|csv|tty",
+        default: "tty",
+        help: "output format for tables",
+    },
+    FlagSpec {
+        name: "out",
+        value: "PATH",
+        default: "BENCH_baseline.json",
+        help: "output file of the bench-baseline record",
+    },
+    FlagSpec {
+        name: "family",
+        value: "NAME",
+        default: "adders",
+        help: "sweep family: adders | multipliers | widths | all",
+    },
+];
+
+fn spec(name: &str) -> Option<&'static FlagSpec> {
+    FLAGS.iter().find(|f| f.name == name)
+}
+
+/// Table-output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Aligned human-readable table (the default).
+    #[default]
+    Tty,
+    /// One JSON array of row objects.
+    Json,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+/// Fully parsed arguments of one subcommand invocation.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// `--samples`.
+    pub samples: usize,
+    /// `--vectors`.
+    pub vectors: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--threads` (0 = auto: `APXPERF_THREADS` / machine parallelism).
+    pub threads: usize,
+    /// `--size`.
+    pub size: usize,
+    /// `--sets`.
+    pub sets: usize,
+    /// `--points`.
+    pub points: usize,
+    /// `--cache-dir`.
+    pub cache_dir: Option<PathBuf>,
+    /// `--no-cache`.
+    pub no_cache: bool,
+    /// `--format`.
+    pub format: Format,
+    /// `--out`.
+    pub out: String,
+    /// `--family`.
+    pub family: String,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+    /// Names of the flags the user explicitly passed (lets commands
+    /// distinguish "defaulted" from "deliberately set to the default").
+    explicit: Vec<&'static str>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            samples: 100_000,
+            vectors: 1_500,
+            seed: 0xDA7E_2017,
+            threads: 0,
+            size: 128,
+            sets: 5,
+            points: 500,
+            cache_dir: None,
+            no_cache: false,
+            format: Format::Tty,
+            out: "BENCH_baseline.json".to_owned(),
+            family: "adders".to_owned(),
+            positional: Vec::new(),
+            explicit: Vec::new(),
+        }
+    }
+}
+
+fn parse_int(flag: &str, value: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse::<u64>()
+    };
+    parsed.map_err(|_| format!("--{flag}: `{value}` is not an integer"))
+}
+
+impl Args {
+    /// Parses `argv` (everything after the subcommand name), accepting
+    /// only the flags named in `accepted` plus up to `max_positional`
+    /// positional arguments. Errors carry a user-facing message; callers
+    /// append the subcommand usage.
+    pub fn parse(
+        argv: &[String],
+        accepted: &[&str],
+        max_positional: usize,
+    ) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = argv.iter();
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                if args.positional.len() >= max_positional {
+                    return Err(format!("unexpected argument `{token}`"));
+                }
+                args.positional.push(token.clone());
+                continue;
+            };
+            let Some(known) = spec(name) else {
+                return Err(format!("unknown flag --{name}"));
+            };
+            if !accepted.contains(&name) {
+                return Err(format!("--{name} is not accepted by this subcommand"));
+            }
+            args.explicit.push(known.name);
+            if name == "no-cache" {
+                args.no_cache = true;
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{name} expects a value"))?;
+            match name {
+                "samples" => args.samples = parse_int(name, value)? as usize,
+                "vectors" => args.vectors = parse_int(name, value)? as usize,
+                "seed" => args.seed = parse_int(name, value)?,
+                "threads" => args.threads = parse_int(name, value)? as usize,
+                "size" => args.size = parse_int(name, value)? as usize,
+                "sets" => args.sets = parse_int(name, value)? as usize,
+                "points" => args.points = parse_int(name, value)? as usize,
+                "cache-dir" => args.cache_dir = Some(PathBuf::from(value)),
+                "format" => {
+                    args.format = match value.as_str() {
+                        "tty" => Format::Tty,
+                        "json" => Format::Json,
+                        "csv" => Format::Csv,
+                        other => {
+                            return Err(format!("--format: `{other}` is not json, csv or tty"))
+                        }
+                    }
+                }
+                "out" => args.out = value.clone(),
+                "family" => args.family = value.clone(),
+                other => return Err(format!("unknown flag --{other}")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Whether the user explicitly passed `--<name>` (as opposed to the
+    /// value being the built-in default).
+    #[must_use]
+    pub fn was_set(&self, name: &str) -> bool {
+        self.explicit.contains(&name)
+    }
+
+    /// `--seed` when explicitly given, otherwise `default` — used by the
+    /// application subcommands to keep the workload-fixture seeds of the
+    /// former standalone binaries, so default outputs stay comparable
+    /// run over run and PR over PR.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        if self.was_set("seed") {
+            self.seed
+        } else {
+            default
+        }
+    }
+
+    /// The characterizer settings these arguments select (the repro
+    /// preset: 2 000 verification vectors, exhaustive up to 16 operand
+    /// bits).
+    #[must_use]
+    pub fn settings(&self) -> CharacterizerSettings {
+        CharacterizerSettings {
+            error_samples: self.samples,
+            verify_samples: VERIFY_SAMPLES,
+            exhaustive_up_to_bits: EXHAUSTIVE_UP_TO_BITS,
+            power_vectors: self.vectors,
+            seed: self.seed,
+        }
+    }
+
+    /// The execution engine: `--threads N` wins, otherwise
+    /// `APXPERF_THREADS` / machine parallelism.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        match self.threads {
+            0 => Engine::from_env(),
+            n => Engine::new(n),
+        }
+    }
+
+    /// The report cache: `--no-cache` disables it, `--cache-dir` pins the
+    /// directory, otherwise `APXPERF_CACHE_DIR` / `~/.cache/apxperf`
+    /// (disabled when no location can be derived).
+    #[must_use]
+    pub fn cache(&self) -> Cache {
+        if self.no_cache {
+            return Cache::disabled();
+        }
+        match &self.cache_dir {
+            Some(dir) => Cache::at(dir),
+            None => Cache::from_env(),
+        }
+    }
+}
+
+/// Renders the uniform usage text of one subcommand: name, summary,
+/// positional arguments, and the accepted flags with their defaults —
+/// always in [`FLAGS`] order, so every subcommand's help reads the same.
+#[must_use]
+pub fn usage(name: &str, summary: &str, positional: &str, accepted: &[&str]) -> String {
+    let mut text = String::new();
+    text.push_str(&format!("{summary}\n\nUsage: apxperf {name}"));
+    if !positional.is_empty() {
+        text.push_str(&format!(" {positional}"));
+    }
+    text.push_str(" [OPTIONS]\n\nOptions:\n");
+    for flag in FLAGS.iter().filter(|f| accepted.contains(&f.name)) {
+        let head = if flag.value.is_empty() {
+            format!("  --{}", flag.name)
+        } else {
+            format!("  --{} <{}>", flag.name, flag.value)
+        };
+        let default = if flag.default.is_empty() {
+            String::new()
+        } else {
+            format!(" [default: {}]", flag.default)
+        };
+        text.push_str(&format!("{head:<26}{}{default}\n", flag.help));
+    }
+    text.push_str("  --help                  print this help\n");
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[&str] = &[
+        "samples",
+        "vectors",
+        "seed",
+        "threads",
+        "cache-dir",
+        "no-cache",
+        "format",
+    ];
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_documented_values() {
+        let args = Args::parse(&[], ALL, 0).unwrap();
+        assert_eq!(args.samples, 100_000);
+        assert_eq!(args.vectors, 1_500);
+        assert_eq!(args.seed, 0xDA7E_2017);
+        assert_eq!(args.threads, 0);
+        assert_eq!(args.format, Format::Tty);
+        assert!(!args.no_cache);
+        let settings = args.settings();
+        assert_eq!(settings.error_samples, 100_000);
+        assert_eq!(settings.seed, 0xDA7E_2017);
+    }
+
+    #[test]
+    fn flags_parse_including_hex_seeds_and_switches() {
+        let args = Args::parse(
+            &argv(&[
+                "--samples",
+                "2000",
+                "--seed",
+                "0xBEEF",
+                "--no-cache",
+                "--format",
+                "csv",
+                "--threads",
+                "4",
+            ]),
+            ALL,
+            0,
+        )
+        .unwrap();
+        assert_eq!(args.samples, 2000);
+        assert_eq!(args.seed, 0xBEEF);
+        assert!(args.no_cache);
+        assert_eq!(args.format, Format::Csv);
+        assert_eq!(args.engine().threads(), 4);
+        assert!(!args.cache().is_enabled());
+    }
+
+    #[test]
+    fn rejects_unknown_and_unaccepted_flags() {
+        let err = Args::parse(&argv(&["--bogus", "1"]), ALL, 0).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = Args::parse(&argv(&["--size", "64"]), ALL, 0).unwrap_err();
+        assert!(err.contains("not accepted"), "{err}");
+        let err = Args::parse(&argv(&["--samples"]), ALL, 0).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+        let err = Args::parse(&argv(&["--samples", "many"]), ALL, 0).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        let err = Args::parse(&argv(&["--format", "xml"]), ALL, 0).unwrap_err();
+        assert!(err.contains("json, csv or tty"), "{err}");
+    }
+
+    #[test]
+    fn positional_arguments_are_bounded() {
+        let args = Args::parse(&argv(&["ACA(16,4)"]), ALL, 1).unwrap();
+        assert_eq!(args.positional, vec!["ACA(16,4)".to_owned()]);
+        let err = Args::parse(&argv(&["a", "b"]), ALL, 1).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn cache_dir_flag_pins_the_directory() {
+        let args = Args::parse(&argv(&["--cache-dir", "/tmp/apx"]), ALL, 0).unwrap();
+        let cache = args.cache();
+        assert!(cache.is_enabled());
+        assert_eq!(cache.dir(), Some(std::path::Path::new("/tmp/apx")));
+    }
+
+    #[test]
+    fn usage_lists_exactly_the_accepted_flags() {
+        let text = usage("demo", "Demo command.", "", &["samples", "no-cache"]);
+        assert!(text.contains("--samples <N>"));
+        assert!(text.contains("--no-cache"));
+        assert!(text.contains("--help"));
+        assert!(!text.contains("--vectors"));
+        assert!(text.contains("Usage: apxperf demo [OPTIONS]"));
+    }
+
+    #[test]
+    fn every_flag_spec_is_well_formed() {
+        for flag in FLAGS {
+            assert!(!flag.name.is_empty());
+            assert!(!flag.help.is_empty());
+            // switches have no default; valued flags document theirs
+            assert_eq!(
+                flag.value.is_empty(),
+                flag.default.is_empty(),
+                "{}",
+                flag.name
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The figure subcommands: the §IV adder trade-off sweeps (Figs. 3/4)
+//! and the FFT/JPEG application studies (Figs. 5/6).
+
+use super::{report_cache_use, reports_for};
+use crate::args::Args;
+use crate::output::{family, fmt, render};
+use apx_apps::fft::FftFixture;
+use apx_apps::jpeg::JpegFixture;
+use apx_apps::OperatorCtx;
+use apx_cells::Library;
+use apx_core::{appenergy, sweeps};
+
+/// `apxperf fig3` — MSE vs power / delay / PDP / area for every 16-bit
+/// adder. Expected shape (paper §IV): fixed-point operators dominate on
+/// power and area at equal MSE except at very low accuracy.
+pub(super) fn fig3(args: &Args) -> Result<(), String> {
+    let cache = args.cache();
+    let configs = sweeps::all_adders_16bit();
+    let reports = reports_for(args, &cache, &configs);
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&reports)
+        .map(|(config, r)| {
+            vec![
+                r.name.clone(),
+                family(config).to_owned(),
+                fmt(r.error.mse_db, 2),
+                fmt(r.hw.power_mw, 5),
+                fmt(r.hw.delay_ns, 3),
+                fmt(r.hw.pdp_pj * 1e3, 3),
+                fmt(r.hw.area_um2, 1),
+                r.verified.to_string(),
+            ]
+        })
+        .collect();
+    println!("FIG3: 16-bit adders, MSE (dB, full-scale) vs hardware cost");
+    print!(
+        "{}",
+        render(
+            args.format,
+            &["operator", "family", "MSE_dB", "power_mW", "delay_ns", "PDP_fJ", "area_um2", "ok"],
+            &rows,
+        )
+    );
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf fig4` — BER vs hardware cost for the same adders as Fig. 3.
+/// On BER the picture flips: approximate adders beat truncated/rounded
+/// fixed point, whose dropped output bits flip ~50 % of the time each.
+pub(super) fn fig4(args: &Args) -> Result<(), String> {
+    let cache = args.cache();
+    let configs = sweeps::all_adders_16bit();
+    let reports = reports_for(args, &cache, &configs);
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&reports)
+        .map(|(config, r)| {
+            vec![
+                r.name.clone(),
+                family(config).to_owned(),
+                fmt(r.error.ber, 4),
+                fmt(r.hw.power_mw, 5),
+                fmt(r.hw.delay_ns, 3),
+                fmt(r.hw.pdp_pj * 1e3, 3),
+                fmt(r.hw.area_um2, 1),
+            ]
+        })
+        .collect();
+    println!("FIG4: 16-bit adders, BER vs hardware cost");
+    print!(
+        "{}",
+        render(
+            args.format,
+            &["operator", "family", "BER", "power_mW", "delay_ns", "PDP_fJ", "area_um2"],
+            &rows,
+        )
+    );
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf fig5` — FFT-32 energy (eq. (1)) vs output PSNR with 16-bit
+/// adders; exact multipliers are sized to the adder width (the
+/// partner-operator rule).
+pub(super) fn fig5(args: &Args) -> Result<(), String> {
+    let cache = args.cache();
+    let lib = Library::fdsoi28();
+    // legacy fixture seed of the fig5_fft_adders binary; --seed overrides
+    let fixture = FftFixture::radix2_32(args.seed_or(0xF17));
+    let configs = sweeps::all_adders_16bit();
+    let models = appenergy::models_for_adders_cached(
+        &lib,
+        args.settings(),
+        &configs,
+        &args.engine(),
+        &cache,
+    );
+    let mut rows = Vec::new();
+    for (config, model) in configs.iter().zip(&models) {
+        let mut ctx = OperatorCtx::new(Some(config.build()), None);
+        let result = fixture.run(&mut ctx);
+        let energy_pj = model.energy_pj(result.counts);
+        rows.push(vec![
+            config.to_string(),
+            family(config).to_owned(),
+            fmt(result.psnr_db, 2),
+            fmt(energy_pj, 3),
+            fmt(model.adder_pdp_pj * 1e3, 3),
+            fmt(model.mult_pdp_pj * 1e3, 3),
+        ]);
+    }
+    println!("FIG5: FFT-32 PSNR vs total PDP (pJ), partner multipliers sized to the adder");
+    print!(
+        "{}",
+        render(
+            args.format,
+            &["operator", "family", "PSNR_dB", "E_fft_pJ", "E_add_fJ", "E_mul_fJ"],
+            &rows,
+        )
+    );
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf fig6` — energy of the DCT in JPEG encoding vs output MSSIM
+/// with 16-bit adders (quality-90 encoding, synthetic photographic
+/// image).
+pub(super) fn fig6(args: &Args) -> Result<(), String> {
+    let cache = args.cache();
+    let lib = Library::fdsoi28();
+    let size = args.size;
+    // legacy fixture seed of the fig6_jpeg_adders binary; --seed overrides
+    let fixture = JpegFixture::synthetic(size, 90, args.seed_or(0x1E7A));
+    let configs = sweeps::all_adders_16bit();
+    let models = appenergy::models_for_adders_cached(
+        &lib,
+        args.settings(),
+        &configs,
+        &args.engine(),
+        &cache,
+    );
+    let mut rows = Vec::new();
+    for (config, model) in configs.iter().zip(&models) {
+        let mut ctx = OperatorCtx::new(Some(config.build()), None);
+        let (result, mssim) = fixture.run(&mut ctx);
+        // per-block energy keeps numbers readable
+        let blocks = (size / 8) * (size / 8);
+        let energy_pj = model.energy_pj(result.counts) / blocks as f64;
+        rows.push(vec![
+            config.to_string(),
+            family(config).to_owned(),
+            fmt(mssim, 4),
+            fmt(energy_pj, 3),
+            result.bytes.len().to_string(),
+        ]);
+    }
+    println!("FIG6: JPEG (q=90, {size}x{size}) MSSIM vs DCT energy per 8x8 block (pJ)");
+    print!(
+        "{}",
+        render(
+            args.format,
+            &["operator", "family", "MSSIM", "E_dct_pJ/blk", "stream_B"],
+            &rows,
+        )
+    );
+    report_cache_use(&cache);
+    Ok(())
+}

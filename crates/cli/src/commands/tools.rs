@@ -1,0 +1,129 @@
+//! The exploration subcommands: whole-family sweeps, single-operator
+//! reports and report-cache maintenance.
+
+use super::{report_cache_use, reports_for};
+use crate::args::Args;
+use crate::output::{family, render};
+use apx_cells::Library;
+use apx_core::{cache as core_cache, Characterizer, OperatorReport};
+use apx_operators::OperatorConfig;
+
+/// `apxperf sweep` — characterizes one of the named §IV families and
+/// prints the headline CSV columns of every report. `--format csv` makes
+/// this the bulk-export path (pipe it into a plotting script).
+pub(super) fn sweep(args: &Args) -> Result<(), String> {
+    let cache = args.cache();
+    let configs: Vec<OperatorConfig> = match args.family.as_str() {
+        "adders" => apx_core::sweeps::all_adders_16bit(),
+        "multipliers" => apx_core::sweeps::multipliers_16bit(),
+        "widths" => apx_core::sweeps::exact_adder_width_sweep(),
+        "all" => {
+            let mut all = apx_core::sweeps::all_adders_16bit();
+            all.extend(apx_core::sweeps::multipliers_16bit());
+            all
+        }
+        other => {
+            return Err(format!(
+                "--family: `{other}` is not adders, multipliers, widths or all"
+            ))
+        }
+    };
+    let reports = reports_for(args, &cache, &configs);
+    // the headline columns of OperatorReport::to_csv_row, cell by cell
+    // (not split from the CSV string — the operator name contains commas)
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&reports)
+        .map(|(config, r)| {
+            vec![
+                family(config).to_owned(),
+                r.name.clone(),
+                r.verified.to_string(),
+                crate::output::fmt(r.error.mse_db, 3),
+                crate::output::fmt(r.error.ber, 6),
+                crate::output::fmt(r.error.mae, 4),
+                crate::output::fmt(r.error.mean_error, 4),
+                crate::output::fmt(r.error.error_rate, 6),
+                crate::output::fmt(r.hw.area_um2, 2),
+                crate::output::fmt(r.hw.delay_ns, 4),
+                crate::output::fmt(r.hw.power_mw, 5),
+                crate::output::fmt(r.hw.pdp_pj, 6),
+            ]
+        })
+        .collect();
+    let mut headers = vec!["family"];
+    let header_row = OperatorReport::csv_header();
+    headers.extend(header_row.split(','));
+    print!("{}", render(args.format, &headers, &rows));
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf report <CONFIG>` — characterizes a single operator named in
+/// paper notation (e.g. `ADDt(16,10)`, `ACA(16,4)`, `RCAApx(16,6,3)`)
+/// and prints the **full** fused report as pretty JSON: every error
+/// metric (positional BER, acceptance probabilities), the hardware
+/// record and the verification verdict.
+pub(super) fn report(args: &Args) -> Result<(), String> {
+    let spec = args
+        .positional
+        .first()
+        .ok_or_else(|| "expected an operator, e.g. `apxperf report \"ACA(16,4)\"`".to_owned())?;
+    let config: OperatorConfig = spec.parse().map_err(|e| format!("{e}"))?;
+    let cache = args.cache();
+    let lib = Library::fdsoi28();
+    let report = Characterizer::new(&lib)
+        .with_settings(args.settings())
+        .with_engine(args.engine())
+        .with_cache(cache.clone())
+        .characterize(&config);
+    let json = report
+        .to_json()
+        .map_err(|e| format!("report serialization failed: {e}"))?;
+    println!("{json}");
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf cache <stats|clear|dir>` — maintenance of the report cache:
+/// `stats` prints blob count, on-disk location and the key schema;
+/// `clear` deletes every blob; `dir` prints just the directory (for
+/// shell substitution).
+pub(super) fn cache(args: &Args) -> Result<(), String> {
+    let action = args.positional.first().map_or("stats", String::as_str);
+    let cache = args.cache();
+    match action {
+        "stats" => {
+            match cache.dir() {
+                Some(dir) => {
+                    println!("dir:     {}", dir.display());
+                    println!("blobs:   {}", cache.len());
+                    println!(
+                        "schema:  apxperf-operator-report v{}",
+                        core_cache::REPORT_SCHEMA_VERSION
+                    );
+                    println!(
+                        "library: {} (fingerprint {})",
+                        Library::fdsoi28().name(),
+                        core_cache::library_fingerprint(&Library::fdsoi28())
+                    );
+                }
+                None => println!("cache disabled (no directory could be derived)"),
+            }
+            Ok(())
+        }
+        "clear" => {
+            let removed = cache.clear();
+            println!("removed {removed} blobs");
+            Ok(())
+        }
+        "dir" => {
+            match cache.dir() {
+                Some(dir) => println!("{}", dir.display()),
+                None => println!(),
+            }
+            Ok(())
+        }
+        other => Err(format!("`{other}` is not stats, clear or dir")),
+    }
+}

@@ -1,0 +1,8 @@
+//! The `apxperf` binary: a thin shell over [`apx_cli::run`].
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(apx_cli::run(&argv));
+}

@@ -11,6 +11,7 @@
 //! full width — that overhead is what Tables III–VI expose.
 
 use crate::characterizer::{Characterizer, CharacterizerSettings};
+use apx_cache::Cache;
 use apx_cells::Library;
 use apx_engine::Engine;
 use apx_operators::{OpClass, OpCounts, OperatorConfig};
@@ -107,7 +108,24 @@ pub fn models_for_adders(
     adders: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<AppEnergyModel> {
-    models_parallel(lib, settings, adders, engine, model_for_adder)
+    models_for_adders_cached(lib, settings, adders, engine, &Cache::disabled())
+}
+
+/// [`models_for_adders`] backed by a content-addressed report cache:
+/// both characterizations of each task (operator and sized partner) are
+/// served from the cache when already keyed. Partner operators recur
+/// across configs (every approximate 16-bit adder shares the full-width
+/// `MULt(16,16)` partner), so even a cold sweep hits after the first
+/// task completes.
+#[must_use]
+pub fn models_for_adders_cached(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    adders: &[OperatorConfig],
+    engine: &Engine,
+    cache: &Cache,
+) -> Vec<AppEnergyModel> {
+    models_parallel(lib, settings, adders, engine, cache, model_for_adder)
 }
 
 /// Parallel §IV driver over **multipliers under test**
@@ -119,7 +137,20 @@ pub fn models_for_multipliers(
     mults: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<AppEnergyModel> {
-    models_parallel(lib, settings, mults, engine, model_for_multiplier)
+    models_for_multipliers_cached(lib, settings, mults, engine, &Cache::disabled())
+}
+
+/// [`models_for_multipliers`] backed by a content-addressed report cache
+/// (see [`models_for_adders_cached`]).
+#[must_use]
+pub fn models_for_multipliers_cached(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    mults: &[OperatorConfig],
+    engine: &Engine,
+    cache: &Cache,
+) -> Vec<AppEnergyModel> {
+    models_parallel(lib, settings, mults, engine, cache, model_for_multiplier)
 }
 
 fn models_parallel(
@@ -127,6 +158,7 @@ fn models_parallel(
     settings: CharacterizerSettings,
     configs: &[OperatorConfig],
     engine: &Engine,
+    cache: &Cache,
     model: impl Fn(&mut Characterizer<'_>, &OperatorConfig) -> AppEnergyModel + Sync,
 ) -> Vec<AppEnergyModel> {
     // Each task characterizes two operators (the config and its sized
@@ -138,7 +170,8 @@ fn models_parallel(
     engine.map_indexed(configs.len(), |i| {
         let mut chz = Characterizer::new(lib)
             .with_settings(settings)
-            .with_engine(inner.clone());
+            .with_engine(inner.clone())
+            .with_cache(cache.clone());
         model(&mut chz, &configs[i])
     })
 }

@@ -1,0 +1,323 @@
+//! Content-addressed caching of [`OperatorReport`](crate::OperatorReport)s.
+//!
+//! A characterization report is a pure function of its inputs (the PR 2
+//! determinism guarantee: bit-identical for any thread count under a
+//! fixed seed), so it can be keyed by a stable hash of everything that
+//! feeds it:
+//!
+//! * the [`OperatorConfig`] under test,
+//! * the full [`CharacterizerSettings`] (seed, error samples, verify
+//!   samples, exhaustive-verification bound, power vectors),
+//! * a fingerprint of the cell [`Library`] (every cell spec, the
+//!   wire-load model and the operating point),
+//! * the engine's sharding fingerprint
+//!   ([`apx_engine::sharding_fingerprint`] — the shard plan and seed
+//!   streams are part of the sampled sequence),
+//! * and [`REPORT_SCHEMA_VERSION`], bumped whenever the serialized
+//!   report shape changes.
+//!
+//! Change any of these and the key changes, so stale blobs miss instead
+//! of resurfacing: cache invalidation is automatic and needs no
+//! versioned directories or manual flushes. The thread count is the one
+//! knob deliberately **excluded** — it never changes a report, so a
+//! sweep on 8 threads hits blobs written by a single-threaded run.
+//!
+//! # Example
+//!
+//! ```
+//! use apx_cache::Cache;
+//! use apx_cells::Library;
+//! use apx_core::{Characterizer, CharacterizerSettings};
+//! use apx_operators::OperatorConfig;
+//!
+//! let dir = std::env::temp_dir().join(format!("apx_core_doc_{}", std::process::id()));
+//! let cache = Cache::at(&dir);
+//! let lib = Library::fdsoi28();
+//! let settings = CharacterizerSettings {
+//!     error_samples: 2_000,
+//!     verify_samples: 100,
+//!     exhaustive_up_to_bits: 8,
+//!     power_vectors: 30,
+//!     seed: 7,
+//! };
+//! let config = OperatorConfig::AddTrunc { n: 16, q: 12 };
+//!
+//! let mut chz = Characterizer::new(&lib)
+//!     .with_settings(settings)
+//!     .with_cache(cache.clone());
+//! let cold = chz.characterize(&config); // computes, then stores
+//! let warm = chz.characterize(&config); // pure lookup
+//! assert_eq!(cold, warm); // bit-identical, floats included
+//! assert_eq!(cache.stats().hits, 1);
+//!
+//! cache.clear();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::characterizer::CharacterizerSettings;
+use apx_cache::{CacheKey, KeyBuilder};
+use apx_cells::Library;
+use apx_operators::OperatorConfig;
+
+/// Version of the cached-report schema. Bump on any change to the
+/// serialized [`OperatorReport`] shape *or* to the semantics of a keyed
+/// field, so every stale blob misses instead of deserializing into wrong
+/// or differently-meaning data.
+///
+/// [`OperatorReport`]: crate::OperatorReport
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Stable fingerprint of a cell library: a content hash over its
+/// canonical JSON serialization, covering every cell spec, the wire-load
+/// model and the operating point. Editing any delay/energy/area number,
+/// retargeting the node or scaling the supply changes the fingerprint —
+/// and with it every report cache key derived from the library.
+#[must_use]
+pub fn library_fingerprint(lib: &Library) -> CacheKey {
+    KeyBuilder::new("apxperf-library/v1")
+        .push_json("library", lib)
+        .finish()
+}
+
+/// The content-addressed key of one characterization report: a stable
+/// hash of everything [`Characterizer::characterize`] depends on. See
+/// the [module docs](self) for the exact ingredient list.
+///
+/// [`Characterizer::characterize`]: crate::Characterizer::characterize
+#[must_use]
+pub fn report_cache_key(
+    lib: &Library,
+    settings: &CharacterizerSettings,
+    config: &OperatorConfig,
+) -> CacheKey {
+    KeyBuilder::new("apxperf-operator-report")
+        .push_u64("report_schema", u64::from(REPORT_SCHEMA_VERSION))
+        .push_str("library", &library_fingerprint(lib).hex())
+        .push_u64("sharding", apx_engine::sharding_fingerprint())
+        .push_json("settings", settings)
+        .push_json("config", config)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Characterizer;
+    use apx_cache::Cache;
+    use apx_cells::OperatingPoint;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static TEST_DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            let id = TEST_DIR_ID.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("apx_core_cache_test_{}_{id}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn quick_settings() -> CharacterizerSettings {
+        CharacterizerSettings {
+            error_samples: 5_000,
+            verify_samples: 200,
+            exhaustive_up_to_bits: 8,
+            power_vectors: 50,
+            seed: 41,
+        }
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_report() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::Aca { n: 16, p: 6 };
+        let mut chz = Characterizer::new(&lib)
+            .with_settings(quick_settings())
+            .with_cache(cache.clone());
+        let cold = chz.characterize(&config);
+        assert_eq!(cache.stats().writes, 1);
+        let warm = chz.characterize(&config);
+        // PartialEq on OperatorReport compares every float bit-for-bit
+        // (incl. the -inf-capable mse_db and all positional BER vectors)
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn mismatched_inputs_miss() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::AddTrunc { n: 16, q: 10 };
+        let settings = quick_settings();
+        Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(
+            cache.stats(),
+            apx_cache::CacheStats {
+                hits: 0,
+                misses: 1,
+                writes: 1
+            }
+        );
+
+        // different seed → miss (second write)
+        let mut reseeded = settings;
+        reseeded.seed ^= 1;
+        Characterizer::new(&lib)
+            .with_settings(reseeded)
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().writes, 2);
+
+        // different sample count → miss
+        let mut resampled = settings;
+        resampled.error_samples += 1;
+        Characterizer::new(&lib)
+            .with_settings(resampled)
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().writes, 3);
+
+        // different library (fingerprint) → miss
+        let other_node = Library::generic45();
+        Characterizer::new(&other_node)
+            .with_settings(settings)
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().writes, 4);
+
+        // and the original inputs still hit their original blob
+        Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn corrupted_blob_falls_back_to_recompute() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::EtaIi { n: 16, x: 4 };
+        let settings = quick_settings();
+        let mut chz = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache.clone());
+        let cold = chz.characterize(&config);
+
+        let key = report_cache_key(&lib, &settings, &config);
+        let blob = tmp.0.join(format!("{key}.json"));
+        assert!(blob.exists());
+        std::fs::write(&blob, "{\"definitely\": \"not a report\"}").unwrap();
+
+        let recomputed = chz.characterize(&config);
+        assert_eq!(recomputed, cold, "recompute must reproduce the report");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().writes, 2, "healed blob is rewritten");
+        // and now it hits again
+        assert_eq!(chz.characterize(&config), cold);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn key_ignores_thread_count() {
+        // the key has no engine/thread ingredient: a report cached on one
+        // thread is served to a 4-thread run (determinism makes it valid)
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::RcaApx {
+            n: 16,
+            m: 6,
+            fa_type: apx_operators::FaType::Two,
+        };
+        let serial = Characterizer::new(&lib)
+            .with_settings(quick_settings())
+            .with_engine(crate::Engine::new(1))
+            .with_cache(cache.clone())
+            .characterize(&config);
+        let threaded = Characterizer::new(&lib)
+            .with_settings(quick_settings())
+            .with_engine(crate::Engine::new(4))
+            .with_cache(cache.clone())
+            .characterize(&config);
+        assert_eq!(serial, threaded);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn library_fingerprint_sees_every_knob() {
+        let base = library_fingerprint(&Library::fdsoi28());
+        assert_eq!(base, library_fingerprint(&Library::fdsoi28()));
+        assert_ne!(base, library_fingerprint(&Library::generic45()));
+        let scaled = Library::fdsoi28().with_operating_point(OperatingPoint {
+            vdd_v: 0.8,
+            freq_mhz: 100.0,
+        });
+        assert_ne!(base, library_fingerprint(&scaled));
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_sweep() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let configs = [
+            OperatorConfig::AddTrunc { n: 16, q: 10 },
+            OperatorConfig::Aca { n: 16, p: 4 },
+        ];
+        let settings = quick_settings();
+        let engine = crate::Engine::new(2);
+        let uncached = crate::sweeps::characterize_all(&lib, settings, &configs, &engine);
+        let cold =
+            crate::sweeps::characterize_all_cached(&lib, settings, &configs, &engine, &cache);
+        let warm =
+            crate::sweeps::characterize_all_cached(&lib, settings, &configs, &engine, &cache);
+        assert_eq!(uncached, cold);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().writes, 2);
+    }
+
+    #[test]
+    fn collision_guard_rejects_wrong_config_blob() {
+        // a blob that parses as a report but describes another operator
+        // (hash collision, or a manually copied file) must not be served
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let settings = quick_settings();
+        let a = OperatorConfig::AddTrunc { n: 16, q: 10 };
+        let b = OperatorConfig::AddTrunc { n: 16, q: 11 };
+        let report_b = Characterizer::new(&lib)
+            .with_settings(settings)
+            .characterize(&b);
+        // plant b's report under a's key
+        cache.put(&report_cache_key(&lib, &settings, &a), &report_b);
+        let report_a = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache.clone())
+            .characterize(&a);
+        assert_eq!(report_a.config, a, "planted blob must be rejected");
+    }
+}

@@ -1,6 +1,7 @@
 //! The per-operator characterization pipeline.
 
 use crate::report::{ErrorSummary, OperatorReport};
+use apx_cache::Cache;
 use apx_cells::Library;
 use apx_engine::{plan_shards, shard_seed, Engine};
 use apx_metrics::ErrorStats;
@@ -63,17 +64,21 @@ pub struct Characterizer<'a> {
     lib: &'a Library,
     settings: CharacterizerSettings,
     engine: Engine,
+    cache: Cache,
 }
 
 impl<'a> Characterizer<'a> {
     /// Creates a characterizer with default settings on the environment's
     /// engine (`APXPERF_THREADS`, defaulting to the machine parallelism).
+    /// Caching starts disabled; attach a store with
+    /// [`Characterizer::with_cache`].
     #[must_use]
     pub fn new(lib: &'a Library) -> Self {
         Characterizer {
             lib,
             settings: CharacterizerSettings::default(),
             engine: Engine::from_env(),
+            cache: Cache::disabled(),
         }
     }
 
@@ -92,6 +97,17 @@ impl<'a> Characterizer<'a> {
         self
     }
 
+    /// Attaches a content-addressed report cache (see [`crate::cache`]):
+    /// [`Characterizer::characterize`] then serves an already-keyed
+    /// report from disk instead of re-running the sweep, and stores every
+    /// freshly computed one. Determinism makes this transparent — a hit
+    /// is bit-identical to the recompute it replaces.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Cache) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// The active settings.
     #[must_use]
     pub fn settings(&self) -> CharacterizerSettings {
@@ -106,7 +122,31 @@ impl<'a> Characterizer<'a> {
 
     /// Characterizes one operator: cross-verification, functional error
     /// metrics, hardware metrics, fused into an [`OperatorReport`].
+    ///
+    /// With a cache attached ([`Characterizer::with_cache`]), the report
+    /// is first looked up under [`crate::cache::report_cache_key`]; a hit
+    /// skips all three sweeps and is bit-identical to the recompute it
+    /// replaces. A fresh result is stored before being returned.
     pub fn characterize(&mut self, config: &OperatorConfig) -> OperatorReport {
+        if !self.cache.is_enabled() {
+            return self.characterize_uncached(config);
+        }
+        let key = crate::cache::report_cache_key(self.lib, &self.settings, config);
+        if let Some(report) = self.cache.get::<OperatorReport>(&key) {
+            // guard against hash collisions and foreign blobs: the record
+            // must actually describe the requested configuration
+            if report.config == *config {
+                return report;
+            }
+        }
+        let report = self.characterize_uncached(config);
+        self.cache.put(&key, &report);
+        report
+    }
+
+    /// [`Characterizer::characterize`] without the cache lookup: always
+    /// runs the full pipeline.
+    fn characterize_uncached(&mut self, config: &OperatorConfig) -> OperatorReport {
         let op = config.build();
         let verified = self.verify(op.as_ref());
         let error = self.error_stats(op.as_ref());

@@ -32,6 +32,13 @@
 //! [`appenergy::models_for_adders`]/[`appenergy::models_for_multipliers`]
 //! additionally parallelize across operator configurations.
 //!
+//! Because reports are pure functions of their inputs, they are also
+//! **cacheable**: attach an `apx_cache` store with
+//! [`Characterizer::with_cache`] (or the `_cached` sweep drivers) and an
+//! already-characterized configuration costs a content-addressed blob
+//! lookup instead of a sweep — see the [`cache`] module for the key
+//! ingredients and invalidation rules.
+//!
 //! # Example
 //!
 //! ```
@@ -54,10 +61,12 @@
 #![warn(missing_docs)]
 
 pub mod appenergy;
+pub mod cache;
 mod characterizer;
 mod report;
 pub mod sweeps;
 
+pub use apx_cache::Cache;
 pub use apx_engine::Engine;
 pub use characterizer::{Characterizer, CharacterizerSettings};
 pub use report::{ErrorSummary, OperatorReport, ParetoPoint};

@@ -4,6 +4,7 @@
 
 use crate::characterizer::{Characterizer, CharacterizerSettings};
 use crate::report::{OperatorReport, ParetoPoint};
+use apx_cache::Cache;
 use apx_cells::Library;
 use apx_engine::Engine;
 use apx_operators::{FaType, OperatorConfig};
@@ -39,11 +40,28 @@ pub fn characterize_all(
     configs: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<OperatorReport> {
+    characterize_all_cached(lib, settings, configs, engine, &Cache::disabled())
+}
+
+/// [`characterize_all`] backed by a content-addressed report cache:
+/// every already-characterized configuration costs a blob lookup instead
+/// of a full sweep, and fresh results are stored for the next run. The
+/// returned reports are bit-identical with or without the cache (and for
+/// any engine) — see [`crate::cache`].
+#[must_use]
+pub fn characterize_all_cached(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+    cache: &Cache,
+) -> Vec<OperatorReport> {
     let inner = inner_engine(engine, configs.len());
     engine.map_indexed(configs.len(), |i| {
         Characterizer::new(lib)
             .with_settings(settings)
             .with_engine(inner.clone())
+            .with_cache(cache.clone())
             .characterize(&configs[i])
     })
 }

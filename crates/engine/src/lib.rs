@@ -115,6 +115,23 @@ pub fn plan_shards_sized(total: usize, shard_samples: usize) -> Vec<Shard> {
     shards
 }
 
+/// Version counter of the sharding/seed-derivation scheme. Bump it
+/// whenever [`SHARD_SAMPLES`], [`shard_seed`]'s mixing constants or the
+/// shard-plan layout change: results would still be internally
+/// consistent, but no longer comparable sample-for-sample with runs of
+/// the previous scheme.
+const SHARDING_VERSION: u64 = 1;
+
+/// A stable fingerprint of the sharded-execution scheme, mixed into
+/// content-addressed cache keys (see `apx_cache`): a cached report is
+/// only valid for the exact shard plan and per-shard seed streams that
+/// produced it, so any change to [`SHARD_SAMPLES`] or the private
+/// `SHARDING_VERSION` counter silently invalidates every stale blob.
+#[must_use]
+pub fn sharding_fingerprint() -> u64 {
+    shard_seed(SHARD_SAMPLES as u64, 0x5_4A8D, SHARDING_VERSION)
+}
+
 /// Derives the RNG seed of one shard stream: a splitmix64-style mix of
 /// the master seed, a loop identifier (so the error, verification and
 /// power loops draw from unrelated streams even under the same master
@@ -179,6 +196,16 @@ impl Engine {
     /// is the only primitive the sharded loops need: per-shard work runs
     /// concurrently, and the caller folds the ordered partials serially so
     /// floating-point merges are reproducible.
+    ///
+    /// # Example
+    /// ```
+    /// use apx_engine::Engine;
+    ///
+    /// let squares = Engine::new(4).map_indexed(5, |i| i * i);
+    /// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    /// // same result on any engine — scheduling never leaks into output
+    /// assert_eq!(squares, Engine::single_threaded().map_indexed(5, |i| i * i));
+    /// ```
     ///
     /// # Panics
     /// Propagates panics from `f`: the pool catches the unwind, still

@@ -171,6 +171,107 @@ impl OperatorConfig {
         )
     }
 
+    /// Checks the parameters against the constructor constraints without
+    /// building the operator: [`OperatorConfig::build`] panics on a
+    /// violation, `validate` reports it — the right form for input that
+    /// arrives from outside (CLI arguments, config files).
+    ///
+    /// # Errors
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let adder_n = |n: u32| -> Result<(), String> {
+            if (2..=32).contains(&n) {
+                Ok(())
+            } else {
+                Err(format!("adder width n={n} out of range 2..=32"))
+            }
+        };
+        let mult_n = |n: u32| -> Result<(), String> {
+            if (2..=24).contains(&n) {
+                Ok(())
+            } else {
+                Err(format!("multiplier width n={n} out of range 2..=24"))
+            }
+        };
+        let booth_n = |n: u32| -> Result<(), String> {
+            if (4..=24).contains(&n) && n.is_multiple_of(2) {
+                Ok(())
+            } else {
+                Err(format!("Booth width n={n} must be even, in 4..=24"))
+            }
+        };
+        match *self {
+            OperatorConfig::AddExact { n } => adder_n(n),
+            OperatorConfig::AddTrunc { n, q } => {
+                adder_n(n)?;
+                if (1..=n).contains(&q) {
+                    Ok(())
+                } else {
+                    Err(format!("kept bits q={q} out of range 1..={n}"))
+                }
+            }
+            OperatorConfig::AddRound { n, q } => {
+                adder_n(n)?;
+                if (1..n).contains(&q) {
+                    Ok(())
+                } else {
+                    Err(format!("kept bits q={q} out of range 1..{n}"))
+                }
+            }
+            OperatorConfig::Aca { n, p } => {
+                adder_n(n)?;
+                if (1..=n).contains(&p) {
+                    Ok(())
+                } else {
+                    Err(format!("speculation window p={p} out of range 1..={n}"))
+                }
+            }
+            OperatorConfig::EtaIv { n, x } | OperatorConfig::EtaIi { n, x } => {
+                adder_n(n)?;
+                if x >= 1 && n.is_multiple_of(x) {
+                    Ok(())
+                } else {
+                    Err(format!("block size x={x} must divide n={n}"))
+                }
+            }
+            OperatorConfig::RcaApx { n, m, .. } => {
+                adder_n(n)?;
+                if m <= n {
+                    Ok(())
+                } else {
+                    Err(format!("accurate MSBs m={m} out of range 0..={n}"))
+                }
+            }
+            OperatorConfig::MulExact { n } => mult_n(n),
+            OperatorConfig::MulTrunc { n, q } => {
+                mult_n(n)?;
+                if (1..=2 * n).contains(&q) {
+                    Ok(())
+                } else {
+                    Err(format!("kept bits q={q} out of range 1..={}", 2 * n))
+                }
+            }
+            OperatorConfig::MulRound { n, q } => {
+                mult_n(n)?;
+                if (1..2 * n).contains(&q) {
+                    Ok(())
+                } else {
+                    Err(format!("kept bits q={q} out of range 1..{}", 2 * n))
+                }
+            }
+            OperatorConfig::Aam { n } => {
+                if (4..=24).contains(&n) {
+                    Ok(())
+                } else {
+                    Err(format!("AAM width n={n} out of range 4..=24"))
+                }
+            }
+            OperatorConfig::MulBooth { n }
+            | OperatorConfig::Abm { n }
+            | OperatorConfig::AbmUncorrected { n } => booth_n(n),
+        }
+    }
+
     /// Operand width `n`.
     #[must_use]
     pub fn input_bits(&self) -> u32 {
@@ -196,6 +297,115 @@ impl OperatorConfig {
 impl fmt::Display for OperatorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.build().name())
+    }
+}
+
+/// Error returned by the [`OperatorConfig`] `FromStr` impl: the input
+/// does not name an operator in the paper notation, or its parameters
+/// violate a constructor constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError(String);
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+impl std::str::FromStr for OperatorConfig {
+    type Err = ParseConfigError;
+
+    /// Parses the paper notation emitted by [`OperatorConfig`]'s
+    /// `Display` impl (round-trip guaranteed), with two conveniences:
+    /// family names are case-insensitive, and the redundant output width
+    /// of `ADD(n,n)` / `MUL(n,2n)` / `MULbooth(n,2n)` may be omitted
+    /// (`ADD(16)`, `MUL(16)`).
+    ///
+    /// # Example
+    /// ```
+    /// use apx_operators::OperatorConfig;
+    /// let config: OperatorConfig = "ADDt(16,10)".parse().unwrap();
+    /// assert_eq!(config, OperatorConfig::AddTrunc { n: 16, q: 10 });
+    /// assert_eq!(config.to_string().parse::<OperatorConfig>(), Ok(config));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || {
+            ParseConfigError(format!(
+                "invalid operator `{s}` — expected paper notation like \
+                 ADDt(16,10), ACA(16,4), ETAIV(16,4), RCAApx(16,6,3), \
+                 MULt(16,16), AAM(16), ABM(16)"
+            ))
+        };
+        let text = s.trim();
+        let (head, rest) = text.split_once('(').ok_or_else(err)?;
+        let body = rest.strip_suffix(')').ok_or_else(err)?;
+        let params: Vec<u32> = body
+            .split(',')
+            .map(|p| p.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| err())?;
+        let one = || -> Result<u32, ParseConfigError> {
+            match params[..] {
+                [n] => Ok(n),
+                _ => Err(err()),
+            }
+        };
+        let two = || -> Result<(u32, u32), ParseConfigError> {
+            match params[..] {
+                [a, b] => Ok((a, b)),
+                _ => Err(err()),
+            }
+        };
+        let config = match head.trim().to_ascii_lowercase().as_str() {
+            "add" => {
+                // ADD(n) or the printed ADD(n,n)
+                match params[..] {
+                    [n] => Ok(OperatorConfig::AddExact { n }),
+                    [n, q] if n == q => Ok(OperatorConfig::AddExact { n }),
+                    _ => Err(err()),
+                }
+            }
+            "addt" => two().map(|(n, q)| OperatorConfig::AddTrunc { n, q }),
+            "addr" => two().map(|(n, q)| OperatorConfig::AddRound { n, q }),
+            "aca" => two().map(|(n, p)| OperatorConfig::Aca { n, p }),
+            "etaiv" => two().map(|(n, x)| OperatorConfig::EtaIv { n, x }),
+            "etaii" => two().map(|(n, x)| OperatorConfig::EtaIi { n, x }),
+            "rcaapx" => match params[..] {
+                [n, m, fa] => {
+                    let fa_type = match fa {
+                        1 => FaType::One,
+                        2 => FaType::Two,
+                        3 => FaType::Three,
+                        _ => return Err(err()),
+                    };
+                    Ok(OperatorConfig::RcaApx { n, m, fa_type })
+                }
+                _ => Err(err()),
+            },
+            "mul" => match params[..] {
+                [n] => Ok(OperatorConfig::MulExact { n }),
+                [n, w] if w == 2 * n => Ok(OperatorConfig::MulExact { n }),
+                _ => Err(err()),
+            },
+            "mult" => two().map(|(n, q)| OperatorConfig::MulTrunc { n, q }),
+            "mulr" => two().map(|(n, q)| OperatorConfig::MulRound { n, q }),
+            "mulbooth" => match params[..] {
+                [n] => Ok(OperatorConfig::MulBooth { n }),
+                [n, w] if w == 2 * n => Ok(OperatorConfig::MulBooth { n }),
+                _ => Err(err()),
+            },
+            "aam" => one().map(|n| OperatorConfig::Aam { n }),
+            "abm" => one().map(|n| OperatorConfig::Abm { n }),
+            "abmu" => one().map(|n| OperatorConfig::AbmUncorrected { n }),
+            _ => Err(err()),
+        }?;
+        // syntax is fine — now reject parameters build() would panic on
+        config
+            .validate()
+            .map_err(|reason| ParseConfigError(format!("invalid operator `{s}`: {reason}")))?;
+        Ok(config)
     }
 }
 
@@ -239,6 +449,117 @@ mod tests {
             assert_eq!(config.op_class(), config.build().op_class());
             assert_eq!(config.input_bits(), config.build().input_bits());
         }
+    }
+
+    #[test]
+    fn from_str_roundtrips_every_sweep_config() {
+        let all = [
+            OperatorConfig::AddExact { n: 16 },
+            OperatorConfig::AddTrunc { n: 16, q: 10 },
+            OperatorConfig::AddRound { n: 16, q: 10 },
+            OperatorConfig::Aca { n: 16, p: 4 },
+            OperatorConfig::EtaIv { n: 16, x: 4 },
+            OperatorConfig::EtaIi { n: 16, x: 2 },
+            OperatorConfig::RcaApx {
+                n: 16,
+                m: 6,
+                fa_type: FaType::Three,
+            },
+            OperatorConfig::MulExact { n: 16 },
+            OperatorConfig::MulTrunc { n: 16, q: 16 },
+            OperatorConfig::MulRound { n: 16, q: 12 },
+            OperatorConfig::MulBooth { n: 16 },
+            OperatorConfig::Aam { n: 16 },
+            OperatorConfig::Abm { n: 16 },
+            OperatorConfig::AbmUncorrected { n: 16 },
+        ];
+        for config in all {
+            let printed = config.to_string();
+            assert_eq!(printed.parse::<OperatorConfig>(), Ok(config), "{printed}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_shorthand_and_rejects_garbage() {
+        assert_eq!(
+            "ADD(16)".parse::<OperatorConfig>(),
+            Ok(OperatorConfig::AddExact { n: 16 })
+        );
+        assert_eq!(
+            "mul(8)".parse::<OperatorConfig>(),
+            Ok(OperatorConfig::MulExact { n: 8 })
+        );
+        assert_eq!(
+            " aca( 16 , 4 ) ".parse::<OperatorConfig>(),
+            Ok(OperatorConfig::Aca { n: 16, p: 4 })
+        );
+        for bad in [
+            "",
+            "ACA",
+            "ACA()",
+            "ACA(16)",
+            "ACA(16,4,1)",
+            "RCAApx(16,6,4)",
+            "ADD(16,12)",
+            "NOPE(1)",
+            "ACA(16,x)",
+            // syntactically fine, parameters out of range: must be a
+            // parse error, never a later build() panic
+            "ACA(64,4)",
+            "ADDt(16,99)",
+            "ADDr(16,16)",
+            "ETAIV(16,3)",
+            "MULt(30,4)",
+            "ABM(15)",
+            "AAM(2)",
+        ] {
+            assert!(bad.parse::<OperatorConfig>().is_err(), "{bad:?}");
+        }
+        let err = "ACA(64,4)".parse::<OperatorConfig>().unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn validate_agrees_with_the_constructors() {
+        // sweep a parameter grid well past every bound: validate() must
+        // accept exactly the configs build() constructs without panicking
+        let mut grid: Vec<OperatorConfig> = Vec::new();
+        for n in 0..=40 {
+            grid.push(OperatorConfig::AddExact { n });
+            grid.push(OperatorConfig::MulExact { n });
+            grid.push(OperatorConfig::MulBooth { n });
+            grid.push(OperatorConfig::Aam { n });
+            grid.push(OperatorConfig::Abm { n });
+            grid.push(OperatorConfig::AbmUncorrected { n });
+            for k in 0..=40 {
+                grid.push(OperatorConfig::AddTrunc { n, q: k });
+                grid.push(OperatorConfig::AddRound { n, q: k });
+                grid.push(OperatorConfig::Aca { n, p: k });
+                grid.push(OperatorConfig::EtaIv { n, x: k });
+                grid.push(OperatorConfig::EtaIi { n, x: k });
+                grid.push(OperatorConfig::MulTrunc { n, q: k });
+                grid.push(OperatorConfig::MulRound { n, q: k });
+                grid.push(OperatorConfig::RcaApx {
+                    n,
+                    m: k,
+                    fa_type: FaType::Two,
+                });
+            }
+        }
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for config in &grid {
+            let builds = std::panic::catch_unwind(|| {
+                let _ = config.build();
+            })
+            .is_ok();
+            assert_eq!(
+                config.validate().is_ok(),
+                builds,
+                "validate/build disagree on {config:?}"
+            );
+        }
+        std::panic::set_hook(quiet);
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod traits;
 pub(crate) mod util;
 
 pub use adders::{Aca, AddExact, AddRound, AddTrunc, EtaIi, EtaIv, FaType, RcaApx};
-pub use config::OperatorConfig;
+pub use config::{OperatorConfig, ParseConfigError};
 pub use context::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};
 pub use mul_array::{Aam, MulExact, MulRound, MulTrunc};
 pub use mul_booth::{Abm, AbmUncorrected, MulBoothExact};

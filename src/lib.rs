@@ -23,6 +23,7 @@
 //! ```
 
 pub use apx_apps as apps;
+pub use apx_cache as cache;
 pub use apx_cells as cells;
 pub use apx_core as core;
 pub use apx_engine as engine;
@@ -37,6 +38,7 @@ pub mod prelude {
         fft::FftFixture, hevc::McFixture, jpeg::JpegFixture, kmeans::KmeansFixture, ArithContext,
         CountingCtx, ExactCtx, OpCounts,
     };
+    pub use apx_cache::{Cache, CacheKey, CacheStats, KeyBuilder};
     pub use apx_cells::{CellKind, CellSpec, Library, OperatingPoint};
     pub use apx_core::{
         appenergy, sweeps, Characterizer, CharacterizerSettings, Engine, OperatorReport,
