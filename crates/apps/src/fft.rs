@@ -6,9 +6,10 @@
 //! keeps the data inside 16 bits (standard fixed-point FFT practice, and
 //! the reason the paper can run it on 16-bit operators).
 
+use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::signal;
-use apx_metrics::psnr_db;
+use apx_metrics::QualityScore;
 
 /// Q15 fractional bits of the twiddle factors.
 const TWIDDLE_FRAC: u32 = 15;
@@ -37,7 +38,7 @@ fn twiddles_q15(n: usize) -> Vec<(i64, i64)> {
 ///
 /// # Panics
 /// Panics if lengths differ or are not a power of two.
-pub fn fft_fixed<C: ArithContext>(re: &mut [i64], im: &mut [i64], ctx: &mut C) {
+pub fn fft_fixed<C: ArithContext + ?Sized>(re: &mut [i64], im: &mut [i64], ctx: &mut C) {
     let n = re.len();
     assert_eq!(n, im.len(), "mismatched component lengths");
     assert!(
@@ -87,8 +88,8 @@ pub struct FftResult {
     pub re: Vec<i64>,
     /// Imaginary output.
     pub im: Vec<i64>,
-    /// PSNR in dB against the exact-arithmetic fixed-point reference.
-    pub psnr_db: f64,
+    /// PSNR against the exact-arithmetic fixed-point reference.
+    pub score: QualityScore,
     /// Operations executed through the context.
     pub counts: OpCounts,
 }
@@ -145,19 +146,67 @@ impl FftFixture {
     }
 
     /// Runs the FFT through `ctx`, scoring against the exact reference.
-    pub fn run<C: ArithContext>(&self, ctx: &mut C) -> FftResult {
+    pub fn run<C: ArithContext + ?Sized>(&self, ctx: &mut C) -> FftResult {
         ctx.reset_counts();
         let mut re = self.input_re.clone();
         let mut im = self.input_im.clone();
         fft_fixed(&mut re, &mut im, ctx);
         let reference: Vec<i64> = self.ref_re.iter().chain(&self.ref_im).copied().collect();
         let test: Vec<i64> = re.iter().chain(&im).copied().collect();
-        let psnr = psnr_db(&reference, &test);
+        let score = QualityScore::psnr(&reference, &test);
         FftResult {
             re,
             im,
-            psnr_db: psnr,
+            score,
             counts: ctx.counts(),
+        }
+    }
+}
+
+/// The registered FFT workload: an `n`-point transform (default the
+/// paper's 32) on a seeded random Q15 signal, scored by output PSNR.
+#[derive(Debug, Clone, Copy)]
+pub struct FftWorkload {
+    len: usize,
+}
+
+impl FftWorkload {
+    /// Workload with an explicit transform length (power of two ≥ 2).
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(len.is_power_of_two() && len >= 2, "power-of-two length");
+        FftWorkload { len }
+    }
+}
+
+impl Default for FftWorkload {
+    /// The paper's 32-point configuration.
+    fn default() -> Self {
+        FftWorkload::new(32)
+    }
+}
+
+impl Workload for FftWorkload {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    /// Legacy fixture seed of the `fig5`/`table2` binaries.
+    fn default_seed(&self) -> u64 {
+        0xF17
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("fft/v1:len={}", self.len)
+    }
+
+    fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
+        let fixture = FftFixture::new(self.len, seed);
+        let result = fixture.run(ctx);
+        WorkloadRun {
+            score: result.score,
+            counts: result.counts,
+            aux: Vec::new(),
         }
     }
 }
@@ -173,7 +222,7 @@ mod tests {
         let fixture = FftFixture::radix2_32(1);
         let mut ctx = ExactCtx::new();
         let result = fixture.run(&mut ctx);
-        assert_eq!(result.psnr_db, f64::INFINITY);
+        assert_eq!(result.score, QualityScore::PsnrDb(f64::INFINITY));
     }
 
     #[test]
@@ -216,7 +265,7 @@ mod tests {
         let psnr_of = |q: u32| {
             let mut ctx =
                 OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
-            fixture.run(&mut ctx).psnr_db
+            fixture.run(&mut ctx).score.value()
         };
         let (hi, mid, lo) = (psnr_of(15), psnr_of(11), psnr_of(7));
         assert!(hi > mid && mid > lo, "psnr {hi} > {mid} > {lo} expected");
@@ -238,6 +287,6 @@ mod tests {
             None,
         );
         let result = fixture.run(&mut ctx);
-        assert!(result.psnr_db < 40.0);
+        assert!(result.score.value() < 40.0);
     }
 }

@@ -7,10 +7,11 @@
 //! [`ArithContext`]; a prediction built with exact arithmetic is the
 //! MSSIM reference.
 
+use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::image::Image;
 use apx_fixture::motion::MotionField;
-use apx_metrics::mssim;
+use apx_metrics::QualityScore;
 
 /// The HEVC luma interpolation filters indexed by fractional phase
 /// (0 = integer, 1 = quarter, 2 = half, 3 = three-quarter).
@@ -29,7 +30,7 @@ const FILTER_SHIFT: u32 = 6;
 /// multiplies by nonzero taps and accumulates (zero taps cost nothing in
 /// hardware and are skipped, matching the integer-phase shortcut of real
 /// decoders).
-fn filter8<C: ArithContext>(samples: &[i64; 8], taps: &[i64; 8], ctx: &mut C) -> i64 {
+fn filter8<C: ArithContext + ?Sized>(samples: &[i64; 8], taps: &[i64; 8], ctx: &mut C) -> i64 {
     // Operands are pre-scaled so their product occupies the upper half of
     // the 32-bit range: a fixed-width (16-of-32) multiplier then loses at
     // most ~2 units of the t·s term. Exact contexts are bit-identical to
@@ -108,10 +109,10 @@ impl McFixture {
 
     /// Runs motion compensation through `ctx`; returns the result and the
     /// MSSIM against the exact-arithmetic prediction.
-    pub fn run<C: ArithContext>(&self, ctx: &mut C) -> (McResult, f64) {
+    pub fn run<C: ArithContext + ?Sized>(&self, ctx: &mut C) -> (McResult, QualityScore) {
         ctx.reset_counts();
         let result = motion_compensate(&self.frame, &self.motion, ctx);
-        let score = mssim(
+        let score = QualityScore::mssim(
             self.reference.pixels(),
             result.predicted.pixels(),
             self.frame.width(),
@@ -121,10 +122,55 @@ impl McFixture {
     }
 }
 
+/// The registered HEVC motion-compensation workload: a seeded synthetic
+/// frame under a quarter-pel motion field, scored by MSSIM against the
+/// exact-arithmetic prediction.
+#[derive(Debug, Clone, Copy)]
+pub struct McWorkload {
+    size: usize,
+}
+
+impl McWorkload {
+    /// Workload over a `size × size` frame (positive multiple of 16).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(
+            size > 0 && size.is_multiple_of(16),
+            "size must be a multiple of 16"
+        );
+        McWorkload { size }
+    }
+}
+
+impl Workload for McWorkload {
+    fn name(&self) -> &'static str {
+        "hevc"
+    }
+
+    /// Legacy fixture seed of the `table3`/`table4` binaries.
+    fn default_seed(&self) -> u64 {
+        0xEC
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("hevc/v1:size={}", self.size)
+    }
+
+    fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
+        let fixture = McFixture::synthetic(self.size, seed);
+        let (result, score) = fixture.run(ctx);
+        WorkloadRun {
+            score,
+            counts: result.counts,
+            aux: Vec::new(),
+        }
+    }
+}
+
 /// Predicts a frame by fractional motion compensation: for every pixel,
 /// samples the reference at `(x + dx/4, y + dy/4)` with the separable
 /// 8-tap interpolation (horizontal, then vertical).
-pub fn motion_compensate<C: ArithContext>(
+pub fn motion_compensate<C: ArithContext + ?Sized>(
     frame: &Image,
     motion: &MotionField,
     ctx: &mut C,
@@ -232,7 +278,7 @@ mod tests {
         let fixture = McFixture::synthetic(32, 4);
         let mut ctx = ExactCtx::new();
         let (_, score) = fixture.run(&mut ctx);
-        assert!((score - 1.0).abs() < 1e-12);
+        assert!((score.value() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -244,7 +290,7 @@ mod tests {
             None,
         );
         let (_, score) = fixture.run(&mut ctx);
-        assert!(score > 0.9, "ADDt(16,10) MSSIM {score}");
+        assert!(score.value() > 0.9, "ADDt(16,10) MSSIM {score}");
         // and a brutally approximate adder scores worse
         let mut harsh = OperatorCtx::new(
             Some(
@@ -259,6 +305,7 @@ mod tests {
         );
         let (_, bad) = fixture.run(&mut harsh);
         assert!(bad < score, "harsh {bad} must be below sized {score}");
+        assert!(bad.degradation() > score.degradation());
     }
 
     #[test]

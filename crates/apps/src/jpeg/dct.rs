@@ -31,7 +31,7 @@ pub fn dct8_coeffs_q13() -> [[i64; 8]; 8] {
 /// One-dimensional 8-point DCT through the context. Each product is
 /// rescaled to Q(guard) before accumulation so that every addition fits
 /// the 16-bit data-path, and the guard bits are dropped at the end.
-pub fn dct8_fixed<C: ArithContext>(
+pub fn dct8_fixed<C: ArithContext + ?Sized>(
     input: &[i64; 8],
     coeffs: &[[i64; 8]; 8],
     ctx: &mut C,
@@ -49,7 +49,7 @@ pub fn dct8_fixed<C: ArithContext>(
 }
 
 /// Two-dimensional 8×8 DCT (rows then columns), through the context.
-pub fn dct8x8_fixed<C: ArithContext>(block: &[[i64; 8]; 8], ctx: &mut C) -> [[i64; 8]; 8] {
+pub fn dct8x8_fixed<C: ArithContext + ?Sized>(block: &[[i64; 8]; 8], ctx: &mut C) -> [[i64; 8]; 8] {
     let coeffs = dct8_coeffs_q13();
     let mut rows = [[0i64; 8]; 8];
     for (r, row) in block.iter().enumerate() {

@@ -7,8 +7,10 @@
 //! and one addition per point/centroid pair, exactly the data-path the
 //! paper characterizes. Centroid updates and comparisons are exact.
 
+use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::clusters::PointCloud;
+use apx_metrics::QualityScore;
 
 /// Scale shift applied after squaring: the fixed-width multiplier keeps
 /// the upper 16 of 32 product bits, so both branches of the comparison
@@ -17,7 +19,7 @@ const SQUARE_SHIFT: u32 = 16;
 
 /// Squared distance through the context, at the fixed-width product
 /// scale.
-fn distance2<C: ArithContext>(p: [i64; 2], c: [i64; 2], ctx: &mut C) -> i64 {
+fn distance2<C: ArithContext + ?Sized>(p: [i64; 2], c: [i64; 2], ctx: &mut C) -> i64 {
     let dx = ctx.sub(p[0], c[0]);
     let dy = ctx.sub(p[1], c[1]);
     let dx2 = ctx.mul(dx, dx) >> SQUARE_SHIFT;
@@ -32,8 +34,8 @@ pub struct KmeansResult {
     pub labels: Vec<usize>,
     /// Final centroid positions.
     pub centroids: Vec<[i64; 2]>,
-    /// Fraction of points assigned to their ground-truth cluster.
-    pub success_rate: f64,
+    /// Classification success against the ground-truth labels.
+    pub score: QualityScore,
     /// Operations executed through the context (distance computation
     /// only).
     pub counts: OpCounts,
@@ -91,7 +93,7 @@ impl KmeansFixture {
     /// are directly comparable (no permutation matching needed) — the
     /// paper's success rate is the fraction of points landing in their
     /// true cluster.
-    pub fn run<C: ArithContext>(&self, ctx: &mut C) -> KmeansResult {
+    pub fn run<C: ArithContext + ?Sized>(&self, ctx: &mut C) -> KmeansResult {
         ctx.reset_counts();
         let k = self.cloud.centers.len();
         let mut centroids: Vec<[i64; 2]> = self
@@ -129,13 +131,8 @@ impl KmeansFixture {
                 }
             }
         }
-        let correct = labels
-            .iter()
-            .zip(&self.cloud.labels)
-            .filter(|(a, b)| a == b)
-            .count();
         KmeansResult {
-            success_rate: correct as f64 / labels.len().max(1) as f64,
+            score: QualityScore::success(&self.cloud.labels, &labels),
             labels,
             centroids,
             counts: ctx.counts(),
@@ -150,6 +147,59 @@ impl KmeansFixture {
     }
 }
 
+/// The registered K-means workload: `sets` seeded Gaussian data sets of
+/// 10 clusters clustered through the context, scored by the **average**
+/// classification success against the ground truth (the Tables V/VI
+/// protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct KmeansWorkload {
+    sets: usize,
+    points: usize,
+}
+
+impl KmeansWorkload {
+    /// Workload over `sets` data sets of `points` points per cluster.
+    #[must_use]
+    pub fn new(sets: usize, points: usize) -> Self {
+        assert!(sets > 0, "at least one data set");
+        assert!(points > 0, "at least one point per cluster");
+        KmeansWorkload { sets, points }
+    }
+}
+
+impl Workload for KmeansWorkload {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    /// Base fixture seed of the `table5`/`table6` binaries (set `s` uses
+    /// `seed + s`).
+    fn default_seed(&self) -> u64 {
+        100
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("kmeans/v1:sets={},points={}", self.sets, self.points)
+    }
+
+    fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
+        let mut success = 0.0;
+        let mut counts = OpCounts::default();
+        for s in 0..self.sets {
+            let fixture = KmeansFixture::synthetic(10, self.points, seed.wrapping_add(s as u64));
+            let result = fixture.run(ctx);
+            success += result.score.value();
+            counts.adds += result.counts.adds;
+            counts.muls += result.counts.muls;
+        }
+        WorkloadRun {
+            score: QualityScore::SuccessRate(success / self.sets as f64),
+            counts,
+            aux: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,9 +210,9 @@ mod tests {
         let fixture = KmeansFixture::synthetic(10, 200, 21);
         let result = fixture.run_exact();
         assert!(
-            result.success_rate > 0.97,
+            result.score.value() > 0.97,
             "well-separated blobs: {}",
-            result.success_rate
+            result.score
         );
     }
 
@@ -185,7 +235,7 @@ mod tests {
             None,
         );
         let result = fixture.run(&mut ctx);
-        assert!(result.success_rate > 0.9, "got {}", result.success_rate);
+        assert!(result.score.value() > 0.9, "got {}", result.score);
     }
 
     #[test]
@@ -194,7 +244,7 @@ mod tests {
         let run_q = |q: u32| {
             let mut ctx =
                 OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
-            fixture.run(&mut ctx).success_rate
+            fixture.run(&mut ctx).score.value()
         };
         let (hi, lo) = (run_q(11), run_q(4));
         assert!(hi > lo, "q=11 ({hi}) must beat q=4 ({lo})");
@@ -210,8 +260,8 @@ mod tests {
         );
         let mut bad =
             OperatorCtx::new(None, Some(OperatorConfig::AbmUncorrected { n: 16 }.build()));
-        let good_rate = fixture.run(&mut good).success_rate;
-        let bad_rate = fixture.run(&mut bad).success_rate;
+        let good_rate = fixture.run(&mut good).score.value();
+        let bad_rate = fixture.run(&mut bad).score.value();
         assert!(good_rate > 0.95, "MULt: {good_rate}");
         assert!(bad_rate < 0.6, "ABMu should collapse: {bad_rate}");
     }

@@ -15,6 +15,15 @@
 //! * [`kmeans`] — K-means clustering whose distance computation runs
 //!   through the context (Tables V/VI), scored by classification success
 //!   rate.
+//! * [`fir`] — 31-tap low-pass FIR filtering, scored by output SNR.
+//! * [`sobel`] — 2-D Sobel edge detection, scored by edge-map MSSIM.
+//!
+//! All of them sit behind the [`workload`] subsystem: one [`Workload`]
+//! trait (deterministic seeded inputs, a run through any context, a
+//! unified [`QualityScore`]) and one registry addressable by name — a new
+//! case study is one trait impl plus one registry entry, and the
+//! engine-parallel, cache-aware sweep driver in `apx_core::appenergy`
+//! plus the `apxperf app <name>` CLI come for free.
 //!
 //! The arithmetic-context machinery itself lives in [`apx_operators`] and
 //! is re-exported here for convenience.
@@ -23,8 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod fft;
+pub mod fir;
 pub mod hevc;
 pub mod jpeg;
 pub mod kmeans;
+pub mod sobel;
+pub mod workload;
 
+pub use apx_metrics::QualityScore;
 pub use apx_operators::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};
+pub use workload::{Workload, WorkloadEntry, WorkloadParams, WorkloadRun, WORKLOADS};

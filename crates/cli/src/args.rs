@@ -8,6 +8,7 @@
 //! derived from the same table — so usage output is consistent by
 //! construction.
 
+use apx_apps::WorkloadParams;
 use apx_cache::Cache;
 use apx_core::{CharacterizerSettings, Engine};
 use std::path::PathBuf;
@@ -105,7 +106,13 @@ pub const FLAGS: &[FlagSpec] = &[
         name: "family",
         value: "NAME",
         default: "adders",
-        help: "sweep family: adders | multipliers | widths | all",
+        help: "operator family to sweep (see `apxperf list`)",
+    },
+    FlagSpec {
+        name: "workload",
+        value: "NAME",
+        default: "off",
+        help: "also score the named application workload over the swept configs",
     },
 ];
 
@@ -152,6 +159,8 @@ pub struct Args {
     pub out: String,
     /// `--family`.
     pub family: String,
+    /// `--workload` (`None` when not requested).
+    pub workload: Option<String>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Names of the flags the user explicitly passed (lets commands
@@ -174,6 +183,7 @@ impl Default for Args {
             format: Format::Tty,
             out: "BENCH_baseline.json".to_owned(),
             family: "adders".to_owned(),
+            workload: None,
             positional: Vec::new(),
             explicit: Vec::new(),
         }
@@ -247,6 +257,7 @@ impl Args {
                 }
                 "out" => args.out = value.clone(),
                 "family" => args.family = value.clone(),
+                "workload" => args.workload = Some(value.clone()),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -270,6 +281,30 @@ impl Args {
             self.seed
         } else {
             default
+        }
+    }
+
+    /// `--family` when explicitly given, otherwise `default` — lets the
+    /// `app` subcommand default to the small named-operating-points
+    /// family while `sweep` keeps its historical `adders` default.
+    #[must_use]
+    pub fn family_or<'a>(&'a self, default: &'a str) -> &'a str {
+        if self.was_set("family") {
+            &self.family
+        } else {
+            default
+        }
+    }
+
+    /// The workload-shaping parameters these arguments select
+    /// (`--size`/`--sets`/`--points` mapped onto the shared
+    /// [`WorkloadParams`] every registry constructor takes).
+    #[must_use]
+    pub fn workload_params(&self) -> WorkloadParams {
+        WorkloadParams {
+            size: self.size,
+            sets: self.sets,
+            points: self.points,
         }
     }
 
@@ -418,6 +453,24 @@ mod tests {
         assert_eq!(args.positional, vec!["ACA(16,4)".to_owned()]);
         let err = Args::parse(&argv(&["a", "b"]), ALL, 1).unwrap_err();
         assert!(err.contains("unexpected argument"), "{err}");
+    }
+
+    #[test]
+    fn workload_flag_and_param_helpers() {
+        let args = Args::parse(
+            &argv(&["--workload", "fir", "--size", "64", "--family", "all"]),
+            &["workload", "size", "family"],
+            0,
+        )
+        .unwrap();
+        assert_eq!(args.workload.as_deref(), Some("fir"));
+        assert_eq!(args.family_or("points"), "all", "explicit --family wins");
+        let params = args.workload_params();
+        assert_eq!(params.size, 64);
+        assert_eq!(params.sets, 5);
+        let defaulted = Args::parse(&[], &["family"], 0).unwrap();
+        assert_eq!(defaulted.workload, None);
+        assert_eq!(defaulted.family_or("points"), "points");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! The workload subcommands: `apxperf app <NAME>` runs any registered
+//! application workload over an operator family, and `apxperf list`
+//! prints both registries — the discoverability entry point.
+
+use super::{report_cache_use, workload_cells};
+use crate::args::Args;
+use crate::output::{family, fmt, render};
+use apx_core::appenergy::WorkloadCell;
+use apx_core::sweeps;
+
+/// The uniform workload result table shared by `app` and
+/// `sweep --workload`: the unified score with its metric kind, the
+/// kind-free exact-relative degradation, and the eq. (1) energy split.
+pub(super) fn render_workload_table(args: &Args, cells: &[WorkloadCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                family(&cell.config).to_owned(),
+                cell.run.score.metric().to_owned(),
+                fmt(cell.run.score.value(), 4),
+                fmt(cell.run.score.degradation(), 6),
+                fmt(cell.model.adder_pdp_pj * 1e3, 3),
+                fmt(cell.model.mult_pdp_pj * 1e3, 3),
+                fmt(cell.model.energy_pj(cell.run.counts), 3),
+            ]
+        })
+        .collect();
+    render(
+        args.format,
+        &[
+            "operator",
+            "family",
+            "metric",
+            "score",
+            "degradation",
+            "E_add_fJ",
+            "E_mul_fJ",
+            "E_app_pJ",
+        ],
+        &rows,
+    )
+}
+
+/// `apxperf app <WORKLOAD>` — runs one registered workload over an
+/// operator family (default: the named operating points of Tables
+/// III/V, the small representative set) and prints the scored sweep.
+/// Everything a figure/table alias does, for any workload in the
+/// registry — new case studies get this command for free.
+pub(super) fn app(args: &Args) -> Result<(), String> {
+    let name = args.positional.first().ok_or_else(|| {
+        "expected a workload name, e.g. `apxperf app fir` (see `apxperf list`)".to_owned()
+    })?;
+    let family_name = args.family_or("points");
+    let sweep_family = sweeps::find_family(family_name).ok_or_else(|| {
+        format!("--family: `{family_name}` is not a registered family — see `apxperf list`")
+    })?;
+    let configs = (sweep_family.configs)();
+    let cache = args.cache();
+    let (workload, cells) = workload_cells(args, &cache, name, &configs)?;
+    println!(
+        "APP {} over family `{}` ({} configs)",
+        workload.fingerprint(),
+        sweep_family.name,
+        configs.len()
+    );
+    print!("{}", render_workload_table(args, &cells));
+    report_cache_use(&cache);
+    Ok(())
+}
+
+/// `apxperf list` — the registered workloads and operator families with
+/// their one-line descriptions, driven by the same registries the
+/// subcommands resolve against (so the listing cannot drift from what
+/// actually runs).
+pub(super) fn list(_args: &Args) -> Result<(), String> {
+    println!("Workloads (apxperf app <NAME>, or sweep --workload <NAME>):");
+    for entry in apx_apps::WORKLOADS {
+        println!("  {:<12}{}", entry.name, entry.summary);
+    }
+    println!();
+    println!("Operator families (--family <NAME>):");
+    for sweep_family in sweeps::FAMILIES {
+        println!("  {:<12}{}", sweep_family.name, sweep_family.summary);
+    }
+    Ok(())
+}

@@ -1,14 +1,10 @@
 //! The figure subcommands: the §IV adder trade-off sweeps (Figs. 3/4)
 //! and the FFT/JPEG application studies (Figs. 5/6).
 
-use super::{report_cache_use, reports_for};
+use super::{report_cache_use, reports_for, workload_cells};
 use crate::args::Args;
 use crate::output::{family, fmt, render};
-use apx_apps::fft::FftFixture;
-use apx_apps::jpeg::JpegFixture;
-use apx_apps::OperatorCtx;
-use apx_cells::Library;
-use apx_core::{appenergy, sweeps};
+use apx_core::sweeps;
 
 /// `apxperf fig3` — MSE vs power / delay / PDP / area for every 16-bit
 /// adder. Expected shape (paper §IV): fixed-point operators dominate on
@@ -83,34 +79,26 @@ pub(super) fn fig4(args: &Args) -> Result<(), String> {
 
 /// `apxperf fig5` — FFT-32 energy (eq. (1)) vs output PSNR with 16-bit
 /// adders; exact multipliers are sized to the adder width (the
-/// partner-operator rule).
+/// partner-operator rule). A thin alias over the `fft` workload of the
+/// registry — the default output is byte-identical to the pre-registry
+/// implementation (pinned by `tests/cli_golden.rs`).
 pub(super) fn fig5(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
-    // legacy fixture seed of the fig5_fft_adders binary; --seed overrides
-    let fixture = FftFixture::radix2_32(args.seed_or(0xF17));
     let configs = sweeps::all_adders_16bit();
-    let models = appenergy::models_for_adders_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let mut ctx = OperatorCtx::new(Some(config.build()), None);
-        let result = fixture.run(&mut ctx);
-        let energy_pj = model.energy_pj(result.counts);
-        rows.push(vec![
-            config.to_string(),
-            family(config).to_owned(),
-            fmt(result.psnr_db, 2),
-            fmt(energy_pj, 3),
-            fmt(model.adder_pdp_pj * 1e3, 3),
-            fmt(model.mult_pdp_pj * 1e3, 3),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "fft", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                family(&cell.config).to_owned(),
+                fmt(cell.run.score.value(), 2),
+                fmt(cell.model.energy_pj(cell.run.counts), 3),
+                fmt(cell.model.adder_pdp_pj * 1e3, 3),
+                fmt(cell.model.mult_pdp_pj * 1e3, 3),
+            ]
+        })
+        .collect();
     println!("FIG5: FFT-32 PSNR vs total PDP (pJ), partner multipliers sized to the adder");
     print!(
         "{}",
@@ -126,36 +114,27 @@ pub(super) fn fig5(args: &Args) -> Result<(), String> {
 
 /// `apxperf fig6` — energy of the DCT in JPEG encoding vs output MSSIM
 /// with 16-bit adders (quality-90 encoding, synthetic photographic
-/// image).
+/// image). A thin alias over the `jpeg` workload of the registry; the
+/// stream length rides on the workload's `stream_bytes` aux output.
 pub(super) fn fig6(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
     let size = args.size;
-    // legacy fixture seed of the fig6_jpeg_adders binary; --seed overrides
-    let fixture = JpegFixture::synthetic(size, 90, args.seed_or(0x1E7A));
     let configs = sweeps::all_adders_16bit();
-    let models = appenergy::models_for_adders_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let mut ctx = OperatorCtx::new(Some(config.build()), None);
-        let (result, mssim) = fixture.run(&mut ctx);
-        // per-block energy keeps numbers readable
-        let blocks = (size / 8) * (size / 8);
-        let energy_pj = model.energy_pj(result.counts) / blocks as f64;
-        rows.push(vec![
-            config.to_string(),
-            family(config).to_owned(),
-            fmt(mssim, 4),
-            fmt(energy_pj, 3),
-            result.bytes.len().to_string(),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "jpeg", &configs)?;
+    // per-block energy keeps numbers readable
+    let blocks = (size / 8) * (size / 8);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                family(&cell.config).to_owned(),
+                fmt(cell.run.score.value(), 4),
+                fmt(cell.model.energy_pj(cell.run.counts) / blocks as f64, 3),
+                (cell.run.aux("stream_bytes").unwrap_or(0.0) as u64).to_string(),
+            ]
+        })
+        .collect();
     println!("FIG6: JPEG (q=90, {size}x{size}) MSSIM vs DCT energy per 8x8 block (pJ)");
     print!(
         "{}",

@@ -3,11 +3,14 @@
 //! binaries as cached subcommands of a single CLI.
 
 use crate::args::Args;
+use apx_apps::Workload;
 use apx_cache::Cache;
 use apx_cells::Library;
+use apx_core::appenergy::{self, WorkloadCell};
 use apx_core::{sweeps, OperatorReport};
 use apx_operators::OperatorConfig;
 
+mod apps;
 mod baseline;
 mod figures;
 mod tables;
@@ -150,6 +153,34 @@ pub const COMMANDS: &[Command] = &[
         run: tables::table6,
     },
     Command {
+        name: "app",
+        summary: "Run any registered workload over an operator family",
+        positional: "<WORKLOAD>",
+        max_positional: 1,
+        flags: &[
+            "family",
+            "samples",
+            "vectors",
+            "seed",
+            "threads",
+            "size",
+            "sets",
+            "points",
+            "cache-dir",
+            "no-cache",
+            "format",
+        ],
+        run: apps::app,
+    },
+    Command {
+        name: "list",
+        summary: "List registered workloads and operator families",
+        positional: "",
+        max_positional: 0,
+        flags: &[],
+        run: apps::list,
+    },
+    Command {
         name: "ablations",
         summary: "Substrate ablations (compression, ABM correction, nodes)",
         positional: "",
@@ -173,10 +204,14 @@ pub const COMMANDS: &[Command] = &[
         max_positional: 0,
         flags: &[
             "family",
+            "workload",
             "samples",
             "vectors",
             "seed",
             "threads",
+            "size",
+            "sets",
+            "points",
             "cache-dir",
             "no-cache",
             "format",
@@ -218,6 +253,34 @@ pub(crate) fn reports_for(
 ) -> Vec<OperatorReport> {
     let lib = Library::fdsoi28();
     sweeps::characterize_all_cached(&lib, args.settings(), configs, &args.engine(), cache)
+}
+
+/// The standard application-sweep runner behind `app`, `sweep
+/// --workload` and every figure/table case-study alias: build the named
+/// workload from the shared CLI parameters, pick its legacy fixture seed
+/// unless `--seed` was given explicitly, and run the engine-parallel,
+/// cache-aware cell sweep of `apx_core::appenergy`.
+pub(crate) fn workload_cells(
+    args: &Args,
+    cache: &Cache,
+    name: &str,
+    configs: &[OperatorConfig],
+) -> Result<(Box<dyn Workload>, Vec<WorkloadCell>), String> {
+    let entry = apx_apps::workload::find(name)
+        .ok_or_else(|| format!("unknown workload `{name}` — see `apxperf list`"))?;
+    let workload = (entry.build)(&args.workload_params())?;
+    let seed = args.seed_or(workload.default_seed());
+    let lib = Library::fdsoi28();
+    let cells = appenergy::sweep_workload_cached(
+        workload.as_ref(),
+        seed,
+        &lib,
+        args.settings(),
+        configs,
+        &args.engine(),
+        cache,
+    );
+    Ok((workload, cells))
 }
 
 /// Prints the end-of-run cache summary to **stderr** — stdout carries

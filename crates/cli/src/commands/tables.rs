@@ -1,15 +1,12 @@
 //! The table subcommands: the paper's operator table (Table I) and the
 //! application case studies (Tables II–VI).
 
-use super::{report_cache_use, reports_for};
+use super::{report_cache_use, reports_for, workload_cells};
 use crate::args::Args;
 use crate::output::{fmt, render};
-use apx_apps::fft::FftFixture;
-use apx_apps::hevc::{ops_per_fractional_pixel, McFixture};
-use apx_apps::kmeans::KmeansFixture;
-use apx_apps::{OpCounts, OperatorCtx};
-use apx_cells::Library;
-use apx_core::{appenergy, sweeps};
+use apx_apps::hevc::ops_per_fractional_pixel;
+use apx_apps::OpCounts;
+use apx_core::sweeps;
 use apx_operators::{FaType, OperatorConfig};
 
 /// `apxperf table1` — direct comparison of the 16-bit fixed-width
@@ -51,31 +48,23 @@ pub(super) fn table1(args: &Args) -> Result<(), String> {
 }
 
 /// `apxperf table2` — FFT-32 accuracy and energy with 16-bit fixed-width
-/// multipliers (exact adders sized alongside).
+/// multipliers (exact adders sized alongside). A thin alias over the
+/// `fft` workload of the registry.
 pub(super) fn table2(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
-    // legacy fixture seed of the table2 binary; --seed overrides
-    let fixture = FftFixture::radix2_32(args.seed_or(0xF17));
     let configs = sweeps::multipliers_16bit();
-    let models = appenergy::models_for_multipliers_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let mut ctx = OperatorCtx::new(None, Some(config.build()));
-        let result = fixture.run(&mut ctx);
-        rows.push(vec![
-            config.to_string(),
-            fmt(result.psnr_db, 2),
-            fmt(model.mult_pdp_pj, 3),
-            fmt(model.energy_pj(result.counts), 2),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "fft", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                fmt(cell.run.score.value(), 2),
+                fmt(cell.model.mult_pdp_pj, 3),
+                fmt(cell.model.energy_pj(cell.run.counts), 2),
+            ]
+        })
+        .collect();
     println!("TABLE II: FFT-32 with 16-bit fixed-width multipliers (exact adders)");
     print!(
         "{}",
@@ -96,9 +85,6 @@ pub(super) fn table2(args: &Args) -> Result<(), String> {
 /// pixel, partner multiplier sized to the adder width.
 pub(super) fn table3(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
-    // legacy fixture seed of the HEVC table binaries; --seed overrides
-    let fixture = McFixture::synthetic(args.size, args.seed_or(0xEC));
     let configs = [
         OperatorConfig::AddTrunc { n: 16, q: 10 },
         OperatorConfig::Aca { n: 16, p: 12 },
@@ -110,26 +96,19 @@ pub(super) fn table3(args: &Args) -> Result<(), String> {
         },
     ];
     let per_pixel = ops_per_fractional_pixel();
-    let models = appenergy::models_for_adders_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let mut ctx = OperatorCtx::new(Some(config.build()), None);
-        let (_, mssim) = fixture.run(&mut ctx);
-        let total = model.energy_pj(per_pixel);
-        rows.push(vec![
-            config.to_string(),
-            fmt(mssim * 100.0, 2),
-            fmt(model.adder_pdp_pj, 4),
-            fmt(model.mult_pdp_pj, 4),
-            fmt(total, 3),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "hevc", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                fmt(cell.run.score.value() * 100.0, 2),
+                fmt(cell.model.adder_pdp_pj, 4),
+                fmt(cell.model.mult_pdp_pj, 4),
+                fmt(cell.model.energy_pj(per_pixel), 3),
+            ]
+        })
+        .collect();
     println!("TABLE III: HEVC MC filter, 16-bit adders (energy per fractional pixel)");
     print!(
         "{}",
@@ -149,30 +128,21 @@ pub(super) fn table3(args: &Args) -> Result<(), String> {
 /// multipliers (exact adders sized to the multiplier output).
 pub(super) fn table4(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
-    // legacy fixture seed of the HEVC table binaries; --seed overrides
-    let fixture = McFixture::synthetic(args.size, args.seed_or(0xEC));
     let per_pixel = ops_per_fractional_pixel();
     let configs = sweeps::multipliers_16bit();
-    let models = appenergy::models_for_multipliers_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let mut ctx = OperatorCtx::new(None, Some(config.build()));
-        let (_, mssim) = fixture.run(&mut ctx);
-        rows.push(vec![
-            config.to_string(),
-            fmt(mssim * 100.0, 3),
-            fmt(model.mult_pdp_pj, 4),
-            fmt(model.adder_pdp_pj, 4),
-            fmt(model.energy_pj(per_pixel), 3),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "hevc", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                fmt(cell.run.score.value() * 100.0, 3),
+                fmt(cell.model.mult_pdp_pj, 4),
+                fmt(cell.model.adder_pdp_pj, 4),
+                fmt(cell.model.energy_pj(per_pixel), 3),
+            ]
+        })
+        .collect();
     println!("TABLE IV: HEVC MC filter, 16-bit multipliers (energy per fractional pixel)");
     print!(
         "{}",
@@ -190,38 +160,12 @@ pub(super) fn table4(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--sets` synthetic K-means data sets of Tables V/VI (`--points`
-/// points each, fixed per-set seeds) — built once per run, shared by
-/// every operator configuration.
-fn kmeans_fixtures(args: &Args) -> Vec<KmeansFixture> {
-    (0..args.sets)
-        .map(|s| KmeansFixture::synthetic(10, args.points, 100 + s as u64))
-        .collect()
-}
-
-/// The shared K-means driver of Tables V/VI: average clustering success
-/// of one operator over the prepared data sets.
-fn kmeans_success(
-    fixtures: &[KmeansFixture],
-    adder: Option<&OperatorConfig>,
-    mult: Option<&OperatorConfig>,
-) -> f64 {
-    let mut success = 0.0;
-    for fixture in fixtures {
-        let mut ctx = OperatorCtx::new(
-            adder.map(OperatorConfig::build),
-            mult.map(OperatorConfig::build),
-        );
-        success += fixture.run(&mut ctx).success_rate;
-    }
-    success / fixtures.len() as f64
-}
-
 /// `apxperf table5` — K-means clustering success and distance-computation
-/// energy with 16-bit adders at the paper's two accuracy levels.
+/// energy with 16-bit adders at the paper's two accuracy levels. A thin
+/// alias over the `kmeans` workload of the registry (which averages the
+/// `--sets` fixed-seed data sets internally).
 pub(super) fn table5(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
     let configs = [
         OperatorConfig::AddTrunc { n: 16, q: 11 },
         OperatorConfig::Aca { n: 16, p: 12 },
@@ -241,25 +185,19 @@ pub(super) fn table5(args: &Args) -> Result<(), String> {
         },
     ];
     let per_distance = OpCounts { adds: 3, muls: 2 };
-    let fixtures = kmeans_fixtures(args);
-    let models = appenergy::models_for_adders_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let success = kmeans_success(&fixtures, Some(config), None);
-        rows.push(vec![
-            config.to_string(),
-            fmt(success * 100.0, 2),
-            fmt(model.adder_pdp_pj, 4),
-            fmt(model.mult_pdp_pj, 4),
-            fmt(model.energy_pj(per_distance), 4),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "kmeans", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                fmt(cell.run.score.value() * 100.0, 2),
+                fmt(cell.model.adder_pdp_pj, 4),
+                fmt(cell.model.mult_pdp_pj, 4),
+                fmt(cell.model.energy_pj(per_distance), 4),
+            ]
+        })
+        .collect();
     println!("TABLE V: K-means, 16-bit adders (energy per distance computation)");
     print!(
         "{}",
@@ -280,7 +218,6 @@ pub(super) fn table5(args: &Args) -> Result<(), String> {
 /// heavily pruned MULt(16,4) that matches the paper's ABM collapse.
 pub(super) fn table6(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let lib = Library::fdsoi28();
     let configs = [
         OperatorConfig::MulTrunc { n: 16, q: 16 },
         OperatorConfig::Aam { n: 16 },
@@ -289,25 +226,19 @@ pub(super) fn table6(args: &Args) -> Result<(), String> {
         OperatorConfig::MulTrunc { n: 16, q: 4 },
     ];
     let per_distance = OpCounts { adds: 3, muls: 2 };
-    let fixtures = kmeans_fixtures(args);
-    let models = appenergy::models_for_multipliers_cached(
-        &lib,
-        args.settings(),
-        &configs,
-        &args.engine(),
-        &cache,
-    );
-    let mut rows = Vec::new();
-    for (config, model) in configs.iter().zip(&models) {
-        let success = kmeans_success(&fixtures, None, Some(config));
-        rows.push(vec![
-            config.to_string(),
-            fmt(success * 100.0, 2),
-            fmt(model.mult_pdp_pj, 4),
-            fmt(model.adder_pdp_pj, 4),
-            fmt(model.energy_pj(per_distance), 4),
-        ]);
-    }
+    let (_, cells) = workload_cells(args, &cache, "kmeans", &configs)?;
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                fmt(cell.run.score.value() * 100.0, 2),
+                fmt(cell.model.mult_pdp_pj, 4),
+                fmt(cell.model.adder_pdp_pj, 4),
+                fmt(cell.model.energy_pj(per_distance), 4),
+            ]
+        })
+        .collect();
     println!("TABLE VI: K-means, 16-bit multipliers (energy per distance computation)");
     print!(
         "{}",

@@ -1,33 +1,41 @@
 //! The exploration subcommands: whole-family sweeps, single-operator
 //! reports and report-cache maintenance.
 
-use super::{report_cache_use, reports_for};
+use super::{apps, report_cache_use, reports_for, workload_cells};
 use crate::args::Args;
 use crate::output::{family, render};
 use apx_cells::Library;
-use apx_core::{cache as core_cache, Characterizer, OperatorReport};
+use apx_core::{cache as core_cache, sweeps, Characterizer, OperatorReport};
 use apx_operators::OperatorConfig;
 
-/// `apxperf sweep` — characterizes one of the named §IV families and
-/// prints the headline CSV columns of every report. `--format csv` makes
-/// this the bulk-export path (pipe it into a plotting script).
+/// `apxperf sweep` — characterizes one of the registered §IV families
+/// and prints the headline CSV columns of every report; `--workload
+/// <NAME>` scores the named application workload over the same
+/// configurations instead. `--format csv` makes this the bulk-export
+/// path (pipe it into a plotting script).
 pub(super) fn sweep(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let configs: Vec<OperatorConfig> = match args.family.as_str() {
-        "adders" => apx_core::sweeps::all_adders_16bit(),
-        "multipliers" => apx_core::sweeps::multipliers_16bit(),
-        "widths" => apx_core::sweeps::exact_adder_width_sweep(),
-        "all" => {
-            let mut all = apx_core::sweeps::all_adders_16bit();
-            all.extend(apx_core::sweeps::multipliers_16bit());
-            all
-        }
-        other => {
-            return Err(format!(
-                "--family: `{other}` is not adders, multipliers, widths or all"
-            ))
-        }
+    let Some(sweep_family) = sweeps::find_family(&args.family) else {
+        let names: Vec<&str> = sweeps::FAMILIES.iter().map(|f| f.name).collect();
+        return Err(format!(
+            "--family: `{}` is not one of {}",
+            args.family,
+            names.join(", ")
+        ));
     };
+    let configs: Vec<OperatorConfig> = (sweep_family.configs)();
+    if let Some(workload_name) = args.workload.clone() {
+        let (workload, cells) = workload_cells(args, &cache, &workload_name, &configs)?;
+        println!(
+            "SWEEP {} over family `{}` ({} configs)",
+            workload.fingerprint(),
+            sweep_family.name,
+            configs.len()
+        );
+        print!("{}", apps::render_workload_table(args, &cells));
+        report_cache_use(&cache);
+        return Ok(());
+    }
     let reports = reports_for(args, &cache, &configs);
     // the headline columns of OperatorReport::to_csv_row, cell by cell
     // (not split from the CSV string — the operator name contains commas)

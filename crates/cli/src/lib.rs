@@ -147,7 +147,7 @@ mod tests {
         // (bench-baseline measures compute; cache manages the store) are
         // the deliberate exceptions
         for command in commands::COMMANDS {
-            if ["bench-baseline", "cache"].contains(&command.name) {
+            if ["bench-baseline", "cache", "list"].contains(&command.name) {
                 continue;
             }
             assert!(

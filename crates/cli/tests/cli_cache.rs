@@ -195,6 +195,8 @@ fn every_subcommand_has_uniform_help() {
         "table4",
         "table5",
         "table6",
+        "app",
+        "list",
         "ablations",
         "bench-baseline",
         "sweep",
@@ -211,7 +213,7 @@ fn every_subcommand_has_uniform_help() {
         );
         assert!(text.contains("--help"), "{name}: missing --help entry");
         // every characterizing command documents the same core knobs
-        if !["cache"].contains(&name) {
+        if !["cache", "list"].contains(&name) {
             assert!(
                 text.contains("--samples <N>"),
                 "{name}: missing --samples:\n{text}"
@@ -225,6 +227,108 @@ fn every_subcommand_has_uniform_help() {
     let err = String::from_utf8(bad.stderr).unwrap();
     assert!(err.contains("unknown flag --vektors"), "{err}");
     assert!(err.contains("Usage: apxperf fig3"), "{err}");
+}
+
+#[test]
+fn new_workloads_run_end_to_end_and_warm_app_sweeps_are_pure_hits() {
+    // the acceptance contract of the workload registry: `apxperf app
+    // {fir,sobel}` runs end-to-end, and a cached rerun is served
+    // entirely from the app-sweep cells — byte-identical stdout, 0
+    // misses — exactly like characterization sweeps.
+    for (workload, extra) in [("fir", None), ("sobel", Some(["--size", "32"]))] {
+        let dir = TempDir::new(&format!("app_{workload}"));
+        let mut args = vec![
+            "app",
+            workload,
+            "--samples",
+            "1000",
+            "--vectors",
+            "50",
+            "--cache-dir",
+            dir.path(),
+        ];
+        if let Some(extra) = extra {
+            args.extend(extra);
+        }
+        let cold = run(&args);
+        assert!(
+            cold.status.success(),
+            "{workload} cold run failed: {cold:?}"
+        );
+        let warm = run(&args);
+        assert!(
+            warm.status.success(),
+            "{workload} warm run failed: {warm:?}"
+        );
+        assert_eq!(
+            stdout(&cold),
+            stdout(&warm),
+            "{workload}: cache not transparent"
+        );
+        let text = stdout(&warm);
+        // the default family is the 9 named operating points of Tables III/V
+        assert!(
+            text.contains("over family `points` (9 configs)"),
+            "{workload}: header:
+{text}"
+        );
+        let warm_err = String::from_utf8(warm.stderr.clone()).unwrap();
+        assert!(
+            warm_err.contains("9 hits, 0 misses, 0 writes"),
+            "{workload}: warm run must be pure cell hits: {warm_err}"
+        );
+    }
+}
+
+#[test]
+fn list_names_every_registered_workload_and_family() {
+    let output = run(&["list"]);
+    assert!(output.status.success());
+    let text = stdout(&output);
+    for name in ["fft", "jpeg", "hevc", "kmeans", "fir", "sobel"] {
+        assert!(
+            text.contains(name),
+            "workload {name} missing:
+{text}"
+        );
+    }
+    for name in ["adders", "multipliers", "widths", "points", "all"] {
+        assert!(
+            text.contains(name),
+            "family {name} missing:
+{text}"
+        );
+    }
+}
+
+#[test]
+fn sweep_workload_scores_a_family_with_the_unified_columns() {
+    let output = run(&[
+        "sweep",
+        "--family",
+        "multipliers",
+        "--workload",
+        "fft",
+        "--samples",
+        "1000",
+        "--vectors",
+        "50",
+        "--no-cache",
+        "--format",
+        "csv",
+    ]);
+    assert!(output.status.success(), "{output:?}");
+    let text = stdout(&output);
+    let header = text
+        .lines()
+        .find(|l| l.starts_with("operator,"))
+        .expect("csv header");
+    assert_eq!(
+        header,
+        "operator,family,metric,score,degradation,E_add_fJ,E_mul_fJ,E_app_pJ"
+    );
+    assert!(text.contains("PSNR_dB"), "{text}");
+    assert!(text.contains("\"MULt(16,16)\""), "{text}");
 }
 
 #[test]

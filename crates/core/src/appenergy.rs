@@ -11,6 +11,7 @@
 //! full width — that overhead is what Tables III–VI expose.
 
 use crate::characterizer::{Characterizer, CharacterizerSettings};
+use apx_apps::{OperatorCtx, Workload, WorkloadRun};
 use apx_cache::Cache;
 use apx_cells::Library;
 use apx_engine::Engine;
@@ -37,24 +38,21 @@ impl AppEnergyModel {
 /// The minimal exact multiplier that partners a given adder
 /// configuration: sized to the adder's live output width for fixed-point
 /// sizing, full width for approximate adders (their interface never
-/// shrinks).
+/// shrinks). The width is clamped into the multiplier family's valid
+/// 2–24-bit range, so every adder the sweeps emit (including the 2–32-bit
+/// width-scaling family) gets a buildable, printable partner.
 ///
 /// # Panics
 /// Panics if `adder` is not an adder configuration.
 #[must_use]
 pub fn partner_multiplier(adder: &OperatorConfig) -> OperatorConfig {
     assert_eq!(adder.op_class(), OpClass::Adder, "adder expected");
-    match *adder {
-        OperatorConfig::AddTrunc { q, .. } | OperatorConfig::AddRound { q, .. } => {
-            let n = q.max(2);
-            OperatorConfig::MulTrunc { n, q: n }
-        }
-        OperatorConfig::AddExact { n } => OperatorConfig::MulTrunc { n, q: n },
-        _ => {
-            let n = adder.input_bits();
-            OperatorConfig::MulTrunc { n, q: n }
-        }
-    }
+    let width = match *adder {
+        OperatorConfig::AddTrunc { q, .. } | OperatorConfig::AddRound { q, .. } => q,
+        _ => adder.input_bits(),
+    };
+    let n = width.clamp(2, 24);
+    OperatorConfig::MulTrunc { n, q: n }
 }
 
 /// The minimal exact adder that partners a given multiplier
@@ -94,6 +92,16 @@ pub fn model_for_multiplier(chz: &mut Characterizer<'_>, mult: &OperatorConfig) 
     AppEnergyModel {
         adder_pdp_pj,
         mult_pdp_pj,
+    }
+}
+
+/// Builds the energy model for any **operator under test**, dispatching
+/// on its class: [`model_for_adder`] for adders, [`model_for_multiplier`]
+/// for multipliers — the one entry point the workload sweep uses.
+pub fn model_for(chz: &mut Characterizer<'_>, config: &OperatorConfig) -> AppEnergyModel {
+    match config.op_class() {
+        OpClass::Adder => model_for_adder(chz, config),
+        OpClass::Multiplier => model_for_multiplier(chz, config),
     }
 }
 
@@ -151,6 +159,95 @@ pub fn models_for_multipliers_cached(
     cache: &Cache,
 ) -> Vec<AppEnergyModel> {
     models_parallel(lib, settings, mults, engine, cache, model_for_multiplier)
+}
+
+/// One cell of an application sweep: the operator configuration under
+/// test, its partner-sized energy model (eq. (1)), and the scored
+/// workload run. Serializable so whole cells are content-addressable —
+/// see [`crate::cache::workload_cell_key`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadCell {
+    /// The configuration under test.
+    pub config: OperatorConfig,
+    /// Its application energy model (operator + sized partner).
+    pub model: AppEnergyModel,
+    /// The scored workload run with this configuration substituted in.
+    pub run: WorkloadRun,
+}
+
+/// The single application-sweep driver behind every figure/table case
+/// study and `apxperf app`: runs `workload` once per configuration —
+/// adders fill the adder slot, multipliers the multiplier slot, the
+/// partner operator is sized by the paper's rule — and characterizes
+/// each (workload × config) cell in parallel on `engine`, returning
+/// cells in input order.
+///
+/// Every cell is a pure function of `(workload fingerprint, seed,
+/// library, settings, config)`: the workload generates its inputs from
+/// `seed` alone, so the output is bit-identical for any thread count.
+/// Each cell regenerates the seeded input and exact reference for
+/// itself — a deliberate trade: cells stay stateless and independently
+/// cacheable/parallelizable, and the regeneration cost is amortized by
+/// config-level parallelism and by warm cells skipping the run
+/// entirely.
+#[must_use]
+pub fn sweep_workload(
+    workload: &dyn Workload,
+    seed: u64,
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+) -> Vec<WorkloadCell> {
+    sweep_workload_cached(
+        workload,
+        seed,
+        lib,
+        settings,
+        configs,
+        engine,
+        &Cache::disabled(),
+    )
+}
+
+/// [`sweep_workload`] backed by the content-addressed cache: a cell that
+/// was already swept (same workload fingerprint, seed, settings, library
+/// and config) costs one blob lookup instead of two characterizations
+/// plus an application run — app sweeps warm up exactly like
+/// characterization sweeps. On a miss the inner characterizations still
+/// go through the report cache, so even a cold app sweep reuses operator
+/// reports cached by earlier figure runs.
+#[must_use]
+pub fn sweep_workload_cached(
+    workload: &dyn Workload,
+    seed: u64,
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+    cache: &Cache,
+) -> Vec<WorkloadCell> {
+    let inner = crate::sweeps::inner_engine(engine, configs.len());
+    engine.map_indexed(configs.len(), |i| {
+        let config = configs[i];
+        let key = crate::cache::workload_cell_key(lib, &settings, workload, seed, &config);
+        if let Some(cell) = cache.get::<WorkloadCell>(&key) {
+            // collision guard: only serve a cell describing this config
+            if cell.config == config {
+                return cell;
+            }
+        }
+        let mut chz = Characterizer::new(lib)
+            .with_settings(settings)
+            .with_engine(inner.clone())
+            .with_cache(cache.clone());
+        let model = model_for(&mut chz, &config);
+        let mut ctx = OperatorCtx::for_config(&config);
+        let run = workload.run(seed, &mut ctx);
+        let cell = WorkloadCell { config, model, run };
+        cache.put(&key, &cell);
+        cell
+    })
 }
 
 fn models_parallel(
@@ -242,6 +339,105 @@ mod tests {
     #[should_panic(expected = "adder expected")]
     fn wrong_class_is_rejected() {
         let _ = partner_multiplier(&OperatorConfig::Aam { n: 16 });
+    }
+
+    #[test]
+    fn workload_sweep_matches_the_manual_loop_for_any_thread_count() {
+        let lib = Library::fdsoi28();
+        let settings = CharacterizerSettings {
+            error_samples: 1_000,
+            verify_samples: 100,
+            exhaustive_up_to_bits: 8,
+            power_vectors: 50,
+            seed: 33,
+        };
+        let workload = apx_apps::fft::FftWorkload::default();
+        let configs = [
+            OperatorConfig::AddTrunc { n: 16, q: 10 },
+            OperatorConfig::MulTrunc { n: 16, q: 16 },
+        ];
+        // the manual path: dispatch the model by class, substitute the
+        // config into the right context slot, run, score
+        let mut serial = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_engine(Engine::single_threaded());
+        let expected: Vec<WorkloadCell> = configs
+            .iter()
+            .map(|config| {
+                let model = model_for(&mut serial, config);
+                let mut ctx = OperatorCtx::for_config(config);
+                let run = workload.run(0xF17, &mut ctx);
+                WorkloadCell {
+                    config: *config,
+                    model,
+                    run,
+                }
+            })
+            .collect();
+        for threads in [1, 4] {
+            let cells = sweep_workload(
+                &workload,
+                0xF17,
+                &lib,
+                settings,
+                &configs,
+                &Engine::new(threads),
+            );
+            assert_eq!(cells, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cached_workload_sweep_is_bit_identical_and_pure_hits_when_warm() {
+        let dir = std::env::temp_dir().join(format!("apx_appsweep_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Cache::at(&dir);
+        let lib = Library::fdsoi28();
+        let settings = CharacterizerSettings {
+            error_samples: 1_000,
+            verify_samples: 100,
+            exhaustive_up_to_bits: 8,
+            power_vectors: 50,
+            seed: 34,
+        };
+        let workload = apx_apps::fir::FirWorkload::default();
+        // the exact adder scores +inf dB SNR: non-finite scores must
+        // survive the cache blob bit-for-bit (QualityScore serializes
+        // its IEEE-754 bits, not a JSON float)
+        let configs = [
+            OperatorConfig::AddTrunc { n: 16, q: 11 },
+            OperatorConfig::EtaIv { n: 16, x: 4 },
+            OperatorConfig::AddExact { n: 16 },
+        ];
+        let engine = Engine::new(2);
+        let uncached = sweep_workload(&workload, 7, &lib, settings, &configs, &engine);
+        let cold = sweep_workload_cached(&workload, 7, &lib, settings, &configs, &engine, &cache);
+        let hits_before = cache.stats().hits;
+        let warm = sweep_workload_cached(&workload, 7, &lib, settings, &configs, &engine, &cache);
+        assert_eq!(uncached, cold, "cache must be transparent");
+        assert_eq!(cold, warm, "hit must be bit-identical");
+        assert_eq!(
+            warm[2].run.score.value(),
+            f64::INFINITY,
+            "+inf score must round-trip the blob store"
+        );
+        assert_eq!(
+            cache.stats().hits - hits_before,
+            configs.len() as u64,
+            "warm sweep must be pure cell hits"
+        );
+        // a different seed, and a different workload instance, both miss
+        let reseeded =
+            sweep_workload_cached(&workload, 8, &lib, settings, &configs, &engine, &cache);
+        assert_ne!(
+            cold, reseeded,
+            "seed is part of the cell key and the inputs"
+        );
+        let other = apx_apps::sobel::SobelWorkload::new(16);
+        let key_a = crate::cache::workload_cell_key(&lib, &settings, &workload, 7, &configs[0]);
+        let key_b = crate::cache::workload_cell_key(&lib, &settings, &other, 7, &configs[0]);
+        assert_ne!(key_a, key_b, "workload fingerprint must be keyed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! ```
 
 use crate::characterizer::CharacterizerSettings;
+use apx_apps::Workload;
 use apx_cache::{CacheKey, KeyBuilder};
 use apx_cells::Library;
 use apx_operators::OperatorConfig;
@@ -95,6 +96,39 @@ pub fn report_cache_key(
         .push_str("library", &library_fingerprint(lib).hex())
         .push_u64("sharding", apx_engine::sharding_fingerprint())
         .push_json("settings", settings)
+        .push_json("config", config)
+        .finish()
+}
+
+/// Version of the cached app-sweep-cell schema
+/// ([`WorkloadCell`](crate::appenergy::WorkloadCell)). Bump on any change
+/// to the serialized cell shape or the semantics of a keyed field.
+pub const APP_SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// The content-addressed key of one application-sweep cell — a
+/// (workload × operator-config) pair under fixed characterizer settings.
+/// Same recipe as [`report_cache_key`], extended with the workload's own
+/// content fingerprint (name, algorithm version, every constructor
+/// parameter — see [`Workload::fingerprint`]) and the fixture seed, so
+/// app sweeps are content-addressed exactly like characterization
+/// reports: change the workload, its parameters, the seed or anything a
+/// report depends on, and the cell misses instead of resurfacing stale.
+#[must_use]
+pub fn workload_cell_key(
+    lib: &Library,
+    settings: &CharacterizerSettings,
+    workload: &dyn Workload,
+    workload_seed: u64,
+    config: &OperatorConfig,
+) -> CacheKey {
+    KeyBuilder::new("apxperf-workload-cell")
+        .push_u64("app_schema", u64::from(APP_SWEEP_SCHEMA_VERSION))
+        .push_u64("report_schema", u64::from(REPORT_SCHEMA_VERSION))
+        .push_str("library", &library_fingerprint(lib).hex())
+        .push_u64("sharding", apx_engine::sharding_fingerprint())
+        .push_json("settings", settings)
+        .push_str("workload", &workload.fingerprint())
+        .push_u64("workload_seed", workload_seed)
         .push_json("config", config)
         .finish()
 }

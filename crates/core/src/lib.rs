@@ -20,10 +20,15 @@
 //! ```
 //!
 //! On top of the per-operator flow, [`sweeps`] enumerates the paper's §IV
-//! parameter grids and [`appenergy`] implements the application-level
-//! energy model of eq. (1), including the *partner-operator sizing* that
-//! produces the paper's headline result (sized fixed-point operators
-//! shrink the whole data-path; approximate operators don't).
+//! parameter grids (addressable by name through [`sweeps::FAMILIES`]) and
+//! [`appenergy`] implements the application-level energy model of eq. (1),
+//! including the *partner-operator sizing* that produces the paper's
+//! headline result (sized fixed-point operators shrink the whole
+//! data-path; approximate operators don't). The application case studies
+//! themselves are `apx_apps` [`Workload`](apx_apps::Workload)s;
+//! [`appenergy::sweep_workload`] runs any of them over any configuration
+//! list — engine-parallel across (workload × config) cells and cacheable
+//! per cell ([`cache::workload_cell_key`]).
 //!
 //! Every sampling loop is sharded and runs on an [`Engine`]
 //! (`APXPERF_THREADS`); per-shard RNG streams are derived from the master

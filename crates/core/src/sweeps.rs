@@ -72,6 +72,57 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     crate::report::pareto_front(points)
 }
 
+/// One named operator family — the registry mirror of the workload
+/// registry in `apx_apps`, so `apxperf sweep --family`, `apxperf app`
+/// and `apxperf list` are all driven by the same table.
+pub struct SweepFamily {
+    /// Family name as typed on the command line.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Produces the family's configurations, in sweep order.
+    pub configs: fn() -> Vec<OperatorConfig>,
+}
+
+/// Every registered operator family, in `apxperf list` order.
+pub const FAMILIES: &[SweepFamily] = &[
+    SweepFamily {
+        name: "adders",
+        summary: "all 16-bit fixed-point and approximate adders of Figs. 3-6",
+        configs: all_adders_16bit,
+    },
+    SweepFamily {
+        name: "multipliers",
+        summary: "the 16-bit fixed-width multiplier set of Table I",
+        configs: multipliers_16bit,
+    },
+    SweepFamily {
+        name: "widths",
+        summary: "exact adders from 2 to 32 bits (scaling ablations)",
+        configs: exact_adder_width_sweep,
+    },
+    SweepFamily {
+        name: "points",
+        summary: "the named adder operating points of Tables III/V",
+        configs: table_adder_points,
+    },
+    SweepFamily {
+        name: "all",
+        summary: "adders and multipliers combined",
+        configs: || {
+            let mut all = all_adders_16bit();
+            all.extend(multipliers_16bit());
+            all
+        },
+    },
+];
+
+/// Looks an operator family up by registry name.
+#[must_use]
+pub fn find_family(name: &str) -> Option<&'static SweepFamily> {
+    FAMILIES.iter().find(|f| f.name == name)
+}
+
 /// The 16-bit fixed-point adder family of Figs. 3/4: truncated and
 /// rounded outputs from 15 down to 2 bits.
 #[must_use]
@@ -216,6 +267,22 @@ mod tests {
             let reports = characterize_all(&lib, settings, &configs, &Engine::new(threads));
             assert_eq!(reports, expected, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn family_registry_is_unique_findable_and_buildable() {
+        for family in FAMILIES {
+            assert!(find_family(family.name).is_some(), "{}", family.name);
+            assert!(!family.summary.is_empty(), "{}", family.name);
+            for config in (family.configs)() {
+                assert!(config.validate().is_ok(), "{}: {config:?}", family.name);
+            }
+        }
+        let mut names: Vec<&str> = FAMILIES.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FAMILIES.len(), "duplicate family name");
+        assert!(find_family("frobnicators").is_none());
     }
 
     #[test]

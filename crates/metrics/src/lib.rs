@@ -6,9 +6,16 @@
 //!   relative error, min/max error, error rate, a log₂ error-magnitude
 //!   PDF, power-of-two acceptance probabilities (AP vs. MAA), and an error
 //!   capture buffer from which the error PSD is computed.
-//! * [`psnr_db`] — output quality for the FFT experiment (Fig. 5).
+//! * [`QualityScore`] — the unified application-quality score every
+//!   workload reports, with constructors for each metric below (the one
+//!   scoring entry point of the workload layer) and a kind-free
+//!   exact-relative [`QualityScore::degradation`] accessor.
+//! * [`psnr_db`] / [`snr_db`] — output quality for the FFT and FIR
+//!   experiments (Fig. 5).
 //! * [`mssim`] — Mean Structural Similarity (Wang et al., 2004) for the
 //!   JPEG and HEVC experiments (Fig. 6, Tables III/IV).
+//! * [`success_rate`] — classification success for the K-means
+//!   experiment (Tables V/VI).
 //! * [`spectrum`] — a small f64 radix-2 FFT used for the PSD metric (and
 //!   as the golden reference for the fixed-point FFT application).
 //!
@@ -39,4 +46,4 @@ pub mod spectrum;
 
 pub use error::{ErrorStats, PSD_CAPTURE_LEN};
 pub use mssim::{mssim, mssim_with_window, SSIM_C1, SSIM_C2};
-pub use signal::{psnr_db, psnr_db_from_mse, QualityScore};
+pub use signal::{psnr_db, psnr_db_from_mse, snr_db, success_rate, QualityScore};

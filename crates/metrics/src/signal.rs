@@ -1,6 +1,8 @@
-//! Signal-level quality scores: PSNR and the quality-score wrapper.
+//! Signal-level quality scores: PSNR, SNR, classification success and
+//! the unified [`QualityScore`] the application workloads report.
 
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// Peak signal-to-noise ratio between a reference and a test signal:
@@ -23,7 +25,38 @@ use std::fmt;
 pub fn psnr_db(reference: &[i64], test: &[i64]) -> f64 {
     assert_eq!(reference.len(), test.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty signals");
-    let mse = reference
+    let mse = error_power(reference, test);
+    let peak = reference
+        .iter()
+        .map(|&r| (r as f64) * (r as f64))
+        .fold(0.0f64, f64::max);
+    psnr_db_from_mse(peak, mse)
+}
+
+/// Signal-to-noise ratio between a reference and a test signal:
+/// `SNR = 10·log10(Σx² / Σ(x − y)²)` — mean signal power over mean error
+/// power (the filter-output metric of the FIR workload).
+///
+/// Returns `f64::INFINITY` for identical signals and `f64::NEG_INFINITY`
+/// for an all-zero reference with a nonzero error.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn snr_db(reference: &[i64], test: &[i64]) -> f64 {
+    assert_eq!(reference.len(), test.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty signals");
+    let signal = reference
+        .iter()
+        .map(|&r| (r as f64) * (r as f64))
+        .sum::<f64>()
+        / reference.len() as f64;
+    psnr_db_from_mse(signal, error_power(reference, test))
+}
+
+/// Mean error power `Σ(x − y)²/n` between two equal-length signals.
+fn error_power(reference: &[i64], test: &[i64]) -> f64 {
+    reference
         .iter()
         .zip(test)
         .map(|(&r, &t)| {
@@ -31,12 +64,7 @@ pub fn psnr_db(reference: &[i64], test: &[i64]) -> f64 {
             e * e
         })
         .sum::<f64>()
-        / reference.len() as f64;
-    let peak = reference
-        .iter()
-        .map(|&r| (r as f64) * (r as f64))
-        .fold(0.0f64, f64::max);
-    psnr_db_from_mse(peak, mse)
+        / reference.len() as f64
 }
 
 /// PSNR from a precomputed peak power and MSE.
@@ -51,13 +79,41 @@ pub fn psnr_db_from_mse(peak_power: f64, mse: f64) -> f64 {
     10.0 * (peak_power / mse).log10()
 }
 
-/// A tagged application-quality score, so reports can carry the metric
-/// appropriate to each experiment (PSNR for FFT, MSSIM for JPEG/HEVC,
-/// success rate for K-means).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Fraction of positions where two label sequences agree — the paper's
+/// K-means classification success rate (§V-D).
+///
+/// Returns 0 for empty sequences.
+///
+/// # Panics
+/// Panics if the sequences differ in length.
+#[must_use]
+pub fn success_rate(expected: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(expected.len(), actual.len(), "length mismatch");
+    let correct = expected.iter().zip(actual).filter(|(a, b)| a == b).count();
+    correct as f64 / expected.len().max(1) as f64
+}
+
+/// A tagged application-quality score — the one currency every workload
+/// reports, so reports can carry the metric appropriate to each
+/// experiment (PSNR for the FFT, SNR for the FIR filter, MSSIM for
+/// JPEG/HEVC/Sobel, success rate for K-means) while staying comparable.
+///
+/// Scores of the same kind are ordered (`PartialOrd`, **higher is always
+/// better** for every variant); scores of different kinds are not. The
+/// kind-free [`QualityScore::degradation`] accessor maps any score onto
+/// a common "distance from the exact-arithmetic run" scale.
+///
+/// Serialization is manual and **bit-exact**: the value is stored as its
+/// IEEE-754 bit pattern, because exact-arithmetic runs legitimately score
+/// `+inf` dB and the JSON float path collapses non-finite values to
+/// `null` — a cached score must round-trip the app-sweep cache without
+/// changing a single bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QualityScore {
     /// Peak signal-to-noise ratio in dB.
     PsnrDb(f64),
+    /// Signal-to-noise ratio in dB.
+    SnrDb(f64),
     /// Mean structural similarity in `[0, 1]`.
     Mssim(f64),
     /// Classification success rate in `[0, 1]`.
@@ -65,11 +121,133 @@ pub enum QualityScore {
 }
 
 impl QualityScore {
+    /// PSNR score of a test signal against its exact reference.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    #[must_use]
+    pub fn psnr(reference: &[i64], test: &[i64]) -> Self {
+        QualityScore::PsnrDb(psnr_db(reference, test))
+    }
+
+    /// SNR score of a test signal against its exact reference.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    #[must_use]
+    pub fn snr(reference: &[i64], test: &[i64]) -> Self {
+        QualityScore::SnrDb(snr_db(reference, test))
+    }
+
+    /// MSSIM score of a test image against its exact reference.
+    ///
+    /// # Panics
+    /// Panics if the buffers don't match `width*height` or the image is
+    /// smaller than the SSIM window.
+    #[must_use]
+    pub fn mssim(reference: &[u8], test: &[u8], width: usize, height: usize) -> Self {
+        QualityScore::Mssim(crate::mssim(reference, test, width, height))
+    }
+
+    /// Classification-success score of predicted labels against the
+    /// expected ones.
+    ///
+    /// # Panics
+    /// Panics if the sequences differ in length.
+    #[must_use]
+    pub fn success(expected: &[usize], actual: &[usize]) -> Self {
+        QualityScore::SuccessRate(success_rate(expected, actual))
+    }
+
     /// The raw value regardless of the metric kind.
     #[must_use]
     pub fn value(&self) -> f64 {
         match *self {
-            QualityScore::PsnrDb(v) | QualityScore::Mssim(v) | QualityScore::SuccessRate(v) => v,
+            QualityScore::PsnrDb(v)
+            | QualityScore::SnrDb(v)
+            | QualityScore::Mssim(v)
+            | QualityScore::SuccessRate(v) => v,
+        }
+    }
+
+    /// Short column-header-style name of the metric kind.
+    #[must_use]
+    pub fn metric(&self) -> &'static str {
+        match self {
+            QualityScore::PsnrDb(_) => "PSNR_dB",
+            QualityScore::SnrDb(_) => "SNR_dB",
+            QualityScore::Mssim(_) => "MSSIM",
+            QualityScore::SuccessRate(_) => "success",
+        }
+    }
+
+    /// Exact-relative degradation: 0 for a run indistinguishable from the
+    /// exact-arithmetic reference, growing as quality drops — one scale
+    /// common to every metric kind, so workloads with different metrics
+    /// can be ranked by how much approximation hurt them.
+    ///
+    /// * dB ratios (PSNR/SNR) map through the inverse decibel,
+    ///   `10^(−dB/10)` — the relative error power (exact ⇒ ∞ dB ⇒ 0);
+    /// * MSSIM and success rate map through `1 − v` (exact ⇒ 1 ⇒ 0).
+    #[must_use]
+    pub fn degradation(&self) -> f64 {
+        match *self {
+            QualityScore::PsnrDb(v) | QualityScore::SnrDb(v) => 10f64.powf(-v / 10.0),
+            QualityScore::Mssim(v) | QualityScore::SuccessRate(v) => 1.0 - v,
+        }
+    }
+}
+
+impl Serialize for QualityScore {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "metric".to_owned(),
+                serde::Value::String(self.metric().to_owned()),
+            ),
+            ("bits".to_owned(), self.value().to_bits().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QualityScore {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("QualityScore: expected an object"))?;
+        let field = |name: &str| {
+            fields
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::custom(format!("QualityScore: missing `{name}`")))
+        };
+        let metric = field("metric")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("QualityScore: `metric` must be a string"))?;
+        let value = f64::from_bits(u64::from_value(field("bits")?)?);
+        match metric {
+            "PSNR_dB" => Ok(QualityScore::PsnrDb(value)),
+            "SNR_dB" => Ok(QualityScore::SnrDb(value)),
+            "MSSIM" => Ok(QualityScore::Mssim(value)),
+            "success" => Ok(QualityScore::SuccessRate(value)),
+            other => Err(serde::Error::custom(format!(
+                "QualityScore: unknown metric `{other}`"
+            ))),
+        }
+    }
+}
+
+impl PartialOrd for QualityScore {
+    /// Orders two scores of the **same** metric kind (higher is better
+    /// for every variant); scores of different kinds are incomparable.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (QualityScore::PsnrDb(a), QualityScore::PsnrDb(b))
+            | (QualityScore::SnrDb(a), QualityScore::SnrDb(b))
+            | (QualityScore::Mssim(a), QualityScore::Mssim(b))
+            | (QualityScore::SuccessRate(a), QualityScore::SuccessRate(b)) => a.partial_cmp(b),
+            _ => None,
         }
     }
 }
@@ -78,6 +256,7 @@ impl fmt::Display for QualityScore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QualityScore::PsnrDb(v) => write!(f, "PSNR {v:.2} dB"),
+            QualityScore::SnrDb(v) => write!(f, "SNR {v:.2} dB"),
             QualityScore::Mssim(v) => write!(f, "MSSIM {v:.4}"),
             QualityScore::SuccessRate(v) => write!(f, "success {:.2}%", v * 100.0),
         }
@@ -105,11 +284,102 @@ mod tests {
     }
 
     #[test]
+    fn snr_known_value_and_extremes() {
+        // signal power 100^2, error power 1 -> 40 dB
+        let reference = [100i64; 64];
+        let test = [99i64; 64];
+        assert!((snr_db(&reference, &test) - 40.0).abs() < 1e-9);
+        assert_eq!(snr_db(&reference, &reference), f64::INFINITY);
+        assert_eq!(snr_db(&[0i64; 4], &[1i64; 4]), f64::NEG_INFINITY);
+        // SNR uses mean signal power, PSNR peak power: on a non-constant
+        // signal PSNR reads higher
+        let ramp: Vec<i64> = (0..64).collect();
+        let off: Vec<i64> = ramp.iter().map(|&x| x + 1).collect();
+        assert!(psnr_db(&ramp, &off) > snr_db(&ramp, &off));
+    }
+
+    #[test]
+    fn success_rate_counts_agreements() {
+        assert_eq!(success_rate(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        assert_eq!(success_rate(&[0, 1, 2, 3], &[0, 9, 2, 9]), 0.5);
+        assert_eq!(success_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
     fn quality_score_display() {
         assert_eq!(QualityScore::Mssim(0.9912).to_string(), "MSSIM 0.9912");
         assert_eq!(
             QualityScore::SuccessRate(0.8606).to_string(),
             "success 86.06%"
         );
+        assert_eq!(QualityScore::SnrDb(31.5).to_string(), "SNR 31.50 dB");
+    }
+
+    #[test]
+    fn same_kind_scores_order_higher_is_better() {
+        assert!(QualityScore::PsnrDb(50.0) > QualityScore::PsnrDb(40.0));
+        assert!(QualityScore::Mssim(0.99) > QualityScore::Mssim(0.5));
+        assert!(QualityScore::SuccessRate(0.9) >= QualityScore::SuccessRate(0.9));
+        // cross-kind scores are incomparable
+        assert_eq!(
+            QualityScore::PsnrDb(1.0).partial_cmp(&QualityScore::Mssim(1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn degradation_is_zero_at_exact_and_grows_monotonically() {
+        assert_eq!(QualityScore::PsnrDb(f64::INFINITY).degradation(), 0.0);
+        assert_eq!(QualityScore::Mssim(1.0).degradation(), 0.0);
+        assert_eq!(QualityScore::SuccessRate(1.0).degradation(), 0.0);
+        assert!(
+            QualityScore::PsnrDb(20.0).degradation() > QualityScore::PsnrDb(40.0).degradation()
+        );
+        assert!(QualityScore::Mssim(0.5).degradation() > QualityScore::Mssim(0.9).degradation());
+        // 30 dB -> 1e-3 relative error power
+        assert!((QualityScore::SnrDb(30.0).degradation() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_is_bit_exact_including_non_finite_scores() {
+        let scores = [
+            QualityScore::PsnrDb(f64::INFINITY),
+            QualityScore::SnrDb(f64::NEG_INFINITY),
+            QualityScore::PsnrDb(53.884_217_321),
+            QualityScore::Mssim(0.991_2),
+            QualityScore::SuccessRate(0.860_6),
+        ];
+        for score in scores {
+            let back = QualityScore::from_value(&score.to_value()).unwrap();
+            assert_eq!(back, score, "{score:?}");
+            assert_eq!(
+                back.value().to_bits(),
+                score.value().to_bits(),
+                "{score:?} must survive bit-for-bit"
+            );
+        }
+        assert!(QualityScore::from_value(&serde::Value::Null).is_err());
+    }
+
+    #[test]
+    fn constructors_tag_the_right_kind() {
+        let reference = [5i64, -3, 8, 0];
+        assert_eq!(
+            QualityScore::psnr(&reference, &reference),
+            QualityScore::PsnrDb(f64::INFINITY)
+        );
+        assert_eq!(
+            QualityScore::snr(&reference, &reference),
+            QualityScore::SnrDb(f64::INFINITY)
+        );
+        assert_eq!(
+            QualityScore::success(&[1, 2], &[1, 3]),
+            QualityScore::SuccessRate(0.5)
+        );
+        let img: Vec<u8> = (0..64 * 64).map(|i| (i % 251) as u8).collect();
+        let QualityScore::Mssim(v) = QualityScore::mssim(&img, &img, 64, 64) else {
+            panic!("mssim constructor must tag Mssim");
+        };
+        assert!((v - 1.0).abs() < 1e-12);
     }
 }

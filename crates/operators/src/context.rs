@@ -137,6 +137,25 @@ impl OperatorCtx {
         }
     }
 
+    /// Builds the context that puts `config` **under test**: an adder
+    /// configuration fills the adder slot (multiplications stay exact), a
+    /// multiplier configuration the multiplier slot — the substitution
+    /// rule of every application experiment in the paper.
+    ///
+    /// # Example
+    /// ```
+    /// use apx_operators::{ArithContext, OperatorConfig, OperatorCtx};
+    /// let mut ctx = OperatorCtx::for_config(&OperatorConfig::MulTrunc { n: 16, q: 16 });
+    /// assert_eq!(ctx.add(3, 4), 7); // adder slot stays exact
+    /// ```
+    #[must_use]
+    pub fn for_config(config: &crate::OperatorConfig) -> Self {
+        match config.op_class() {
+            OpClass::Adder => OperatorCtx::new(Some(config.build()), None),
+            OpClass::Multiplier => OperatorCtx::new(None, Some(config.build())),
+        }
+    }
+
     /// The adder model, if any.
     #[must_use]
     pub fn adder(&self) -> Option<&dyn ApxOperator> {

@@ -33,7 +33,8 @@ fn main() {
         let path = format!("target/jpeg_{}.pgm", name.replace(['(', ')', ','], "_"));
         std::fs::write(&path, result.decoded.to_pgm()).expect("write PGM");
         println!(
-            "  {name:<16} MSSIM {score:.4}  stream {} B  -> {path}",
+            "  {name:<16} MSSIM {:.4}  stream {} B  -> {path}",
+            score.value(),
             result.bytes.len()
         );
     }
@@ -51,8 +52,10 @@ fn main() {
         let mut ctx = OperatorCtx::new(config.map(|c| c.build()), None);
         let (result, score) = mc.run(&mut ctx);
         println!(
-            "  {name:<12} MSSIM {score:.4}  ({} adds, {} muls)",
-            result.counts.adds, result.counts.muls
+            "  {name:<12} MSSIM {:.4}  ({} adds, {} muls)",
+            score.value(),
+            result.counts.adds,
+            result.counts.muls
         );
     }
 }

@@ -12,7 +12,7 @@ fn main() {
     let exact = fixture.run_exact();
     println!(
         "exact baseline: {:.2}% success ({} distance ops)",
-        exact.success_rate * 100.0,
+        exact.score.value() * 100.0,
         exact.counts.total()
     );
 
@@ -20,8 +20,8 @@ fn main() {
     for q in (4..=15).rev() {
         let mut ctx = OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
         let r = fixture.run(&mut ctx);
-        let bar = "#".repeat((r.success_rate * 40.0) as usize);
-        println!("  ADDt(16,{q:>2}): {:>6.2}% {bar}", r.success_rate * 100.0);
+        let bar = "#".repeat((r.score.value() * 40.0) as usize);
+        println!("  ADDt(16,{q:>2}): {:>6.2}% {bar}", r.score.value() * 100.0);
     }
 
     println!("\nmultiplier substitution:");
@@ -37,7 +37,7 @@ fn main() {
         println!(
             "  {:<12} {:>6.2}%",
             config.to_string(),
-            r.success_rate * 100.0
+            r.score.value() * 100.0
         );
     }
 }

@@ -30,7 +30,7 @@ fn main() {
         println!(
             "{}: PSNR {:.1} dB, FFT energy {:.3} pJ",
             config,
-            result.psnr_db,
+            result.score.value(),
             model.energy_pj(result.counts)
         );
     }

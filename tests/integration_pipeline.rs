@@ -46,7 +46,10 @@ fn application_energy_pipeline_composes() {
     let result = fixture.run(&mut ctx);
     let energy = model.energy_pj(result.counts);
     assert!(energy > 0.0);
-    assert!(result.psnr_db > 20.0, "12 kept bits keeps the FFT usable");
+    assert!(
+        result.score.value() > 20.0,
+        "12 kept bits keeps the FFT usable"
+    );
 }
 
 #[test]

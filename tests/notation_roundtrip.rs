@@ -1,0 +1,54 @@
+//! `FromStr` ∘ `Display` must be the identity on every operator
+//! configuration the sweeps (and their partner-sizing rules) emit —
+//! paper notation is the interchange format of `apxperf report`, the
+//! cache keys and the CSV exports, so notation drift would silently
+//! detach printed names from parseable ones.
+
+use apxperf::core::appenergy::{partner_adder, partner_multiplier};
+use apxperf::core::sweeps;
+use apxperf::operators::{OpClass, OperatorConfig};
+
+/// Every configuration any registered sweep emits, plus the partner
+/// operators the application energy model sizes alongside them.
+fn all_emitted_configs() -> Vec<OperatorConfig> {
+    let mut configs: Vec<OperatorConfig> = Vec::new();
+    for family in sweeps::FAMILIES {
+        configs.extend((family.configs)());
+    }
+    // the partner-sizing rules emit configs of their own (eq. (1))
+    for config in configs.clone() {
+        match config.op_class() {
+            OpClass::Adder => configs.push(partner_multiplier(&config)),
+            OpClass::Multiplier => configs.push(partner_adder(&config)),
+        }
+    }
+    configs
+}
+
+#[test]
+fn paper_notation_round_trips_for_every_swept_config() {
+    let configs = all_emitted_configs();
+    assert!(configs.len() > 150, "sweep inventory shrank unexpectedly");
+    for config in configs {
+        let printed = config.to_string();
+        let parsed: OperatorConfig = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("`{printed}` printed but does not parse: {e}"));
+        assert_eq!(parsed, config, "round-trip drift on `{printed}`");
+        // and printing the parse reproduces the exact notation
+        assert_eq!(parsed.to_string(), printed);
+    }
+}
+
+#[test]
+fn notation_is_case_insensitive_but_unambiguous() {
+    for config in all_emitted_configs() {
+        let printed = config.to_string();
+        let lowered = printed.to_lowercase();
+        assert_eq!(
+            lowered.parse::<OperatorConfig>(),
+            Ok(config),
+            "lowercased `{lowered}` must parse to the same config"
+        );
+    }
+}

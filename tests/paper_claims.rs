@@ -104,7 +104,7 @@ fn table6_shape_abm_collapse() {
     let fixture = KmeansFixture::synthetic(10, 300, 5);
     let run = |config: OperatorConfig| {
         let mut ctx = OperatorCtx::new(None, Some(config.build()));
-        fixture.run(&mut ctx).success_rate
+        fixture.run(&mut ctx).score.value()
     };
     let mult = run(OperatorConfig::MulTrunc { n: 16, q: 16 });
     let aam = run(OperatorConfig::Aam { n: 16 });
@@ -128,7 +128,7 @@ fn fig5_shape_fxp_dominates_fft_energy() {
         let model = appenergy::model_for_adder(chz, &config);
         let mut ctx = OperatorCtx::new(Some(config.build()), None);
         let result = fixture.run(&mut ctx);
-        (result.psnr_db, model.energy_pj(result.counts))
+        (result.score.value(), model.energy_pj(result.counts))
     };
     let (psnr_fxp, e_fxp) = run(&mut chz, OperatorConfig::AddTrunc { n: 16, q: 12 });
     let (psnr_apx, e_apx) = run(&mut chz, OperatorConfig::EtaIv { n: 16, x: 4 });
