@@ -180,7 +180,7 @@ impl KeyBuilder {
 }
 
 /// Hit/miss/write counters of one [`Cache`] handle (shared by clones).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Blobs found and successfully deserialized.
     pub hits: u64,
@@ -377,6 +377,46 @@ impl Cache {
             .collect()
     }
 
+    /// File (inside the cache directory) holding the counters of the
+    /// most recent run that called [`Cache::persist_run_stats`].
+    /// Deliberately **not** a `.json` file so it never counts as a blob.
+    const RUN_STATS_FILE: &'static str = "last-run-stats.v1";
+
+    /// Persists this handle's current counters as the directory's
+    /// "last run" record, so a later process (e.g. `apxperf cache stats
+    /// --format json`, or a CI assertion) can read what the previous
+    /// run's cache traffic was. Best-effort and atomic, like blob
+    /// writes; a disabled cache ignores the call.
+    pub fn persist_run_stats(&self) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let Ok(json) = serde_json::to_string_pretty(&self.stats()) else {
+            return;
+        };
+        if std::fs::create_dir_all(&inner.dir).is_err() {
+            return;
+        }
+        let path = inner.dir.join(Cache::RUN_STATS_FILE);
+        let tmp = inner.dir.join(format!(
+            "{}.tmp.{}",
+            Cache::RUN_STATS_FILE,
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, json + "\n").is_err() || std::fs::rename(&tmp, &path).is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+
+    /// The counters persisted by the most recent run that called
+    /// [`Cache::persist_run_stats`] on this directory, if any.
+    #[must_use]
+    pub fn last_run_stats(&self) -> Option<CacheStats> {
+        let inner = self.inner.as_deref()?;
+        let text = std::fs::read_to_string(inner.dir.join(Cache::RUN_STATS_FILE)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
     /// This handle's counters (shared across clones).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -511,6 +551,35 @@ mod tests {
         assert_eq!(cache.len(), 5);
         assert_eq!(cache.clear(), 5);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn run_stats_persist_across_handles_and_never_count_as_blobs() {
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        assert_eq!(cache.last_run_stats(), None, "nothing persisted yet");
+        cache.put(&key("a"), &1u64);
+        let _ = cache.get::<u64>(&key("a"));
+        let _ = cache.get::<u64>(&key("absent"));
+        cache.persist_run_stats();
+        assert_eq!(cache.len(), 1, "the stats record is not a blob");
+        // a fresh handle over the same directory reads the previous run
+        let later = Cache::at(&tmp.0);
+        assert_eq!(
+            later.last_run_stats(),
+            Some(CacheStats {
+                hits: 1,
+                misses: 1,
+                writes: 1
+            })
+        );
+        // clearing blobs leaves the record in place; disabled caches
+        // neither write nor read one
+        cache.clear();
+        assert_eq!(later.last_run_stats().map(|s| s.hits), Some(1));
+        let off = Cache::disabled();
+        off.persist_run_stats();
+        assert_eq!(off.last_run_stats(), None);
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub const FLAGS: &[FlagSpec] = &[
         default: "off",
         help: "also score the named application workload over the swept configs",
     },
+    FlagSpec {
+        name: "all",
+        value: "",
+        default: "",
+        help: "overlay every approximate family (adders + multipliers) at once",
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
@@ -161,6 +167,8 @@ pub struct Args {
     pub family: String,
     /// `--workload` (`None` when not requested).
     pub workload: Option<String>,
+    /// `--all`.
+    pub all: bool,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Names of the flags the user explicitly passed (lets commands
@@ -184,6 +192,7 @@ impl Default for Args {
             out: "BENCH_baseline.json".to_owned(),
             family: "adders".to_owned(),
             workload: None,
+            all: false,
             positional: Vec::new(),
             explicit: Vec::new(),
         }
@@ -200,6 +209,18 @@ fn parse_int(flag: &str, value: &str) -> Result<u64, String> {
         value.parse::<u64>()
     };
     parsed.map_err(|_| format!("--{flag}: `{value}` is not an integer"))
+}
+
+/// [`parse_int`] for engine knobs that cannot meaningfully be zero
+/// (`--threads 0`, `--samples 0`, `--vectors 0` would panic or produce
+/// NaN metrics deep in the pipeline — reject them at the door instead).
+fn parse_positive(flag: &str, value: &str) -> Result<u64, String> {
+    match parse_int(flag, value)? {
+        0 => Err(format!(
+            "--{flag}: must be at least 1 (omit the flag for the default)"
+        )),
+        n => Ok(n),
+    }
 }
 
 impl Args {
@@ -233,14 +254,18 @@ impl Args {
                 args.no_cache = true;
                 continue;
             }
+            if name == "all" {
+                args.all = true;
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| format!("--{name} expects a value"))?;
             match name {
-                "samples" => args.samples = parse_int(name, value)? as usize,
-                "vectors" => args.vectors = parse_int(name, value)? as usize,
+                "samples" => args.samples = parse_positive(name, value)? as usize,
+                "vectors" => args.vectors = parse_positive(name, value)? as usize,
                 "seed" => args.seed = parse_int(name, value)?,
-                "threads" => args.threads = parse_int(name, value)? as usize,
+                "threads" => args.threads = parse_positive(name, value)? as usize,
                 "size" => args.size = parse_int(name, value)? as usize,
                 "sets" => args.sets = parse_int(name, value)? as usize,
                 "points" => args.points = parse_int(name, value)? as usize,
@@ -445,6 +470,28 @@ mod tests {
         assert!(err.contains("not an integer"), "{err}");
         let err = Args::parse(&argv(&["--format", "xml"]), ALL, 0).unwrap_err();
         assert!(err.contains("json, csv or tty"), "{err}");
+    }
+
+    #[test]
+    fn zero_engine_knobs_are_clean_errors_not_panics_or_fallthroughs() {
+        // --threads 0 used to silently fall through to "auto"; now every
+        // zero engine knob is rejected at parse time with a message
+        for flag in ["threads", "samples", "vectors"] {
+            let err = Args::parse(&argv(&[&format!("--{flag}"), "0"]), ALL, 0).unwrap_err();
+            assert!(err.contains("at least 1"), "--{flag} 0: {err}");
+        }
+        // 1 stays valid, and the default threads=0 still means "auto"
+        let args = Args::parse(&argv(&["--threads", "1"]), ALL, 0).unwrap();
+        assert_eq!(args.engine().threads(), 1);
+        assert_eq!(Args::parse(&[], ALL, 0).unwrap().threads, 0);
+    }
+
+    #[test]
+    fn all_switch_parses() {
+        let args = Args::parse(&argv(&["--all"]), &["all"], 0).unwrap();
+        assert!(args.all);
+        assert!(args.was_set("all"));
+        assert!(!Args::parse(&[], &["all"], 0).unwrap().all);
     }
 
     #[test]

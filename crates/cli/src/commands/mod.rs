@@ -13,6 +13,7 @@ use apx_operators::OperatorConfig;
 mod apps;
 mod baseline;
 mod figures;
+mod pareto;
 mod tables;
 mod tools;
 
@@ -173,6 +174,28 @@ pub const COMMANDS: &[Command] = &[
         run: apps::app,
     },
     Command {
+        name: "pareto",
+        summary: "Quality-energy Pareto overlay: approximate families vs the Sized baseline",
+        positional: "",
+        max_positional: 0,
+        flags: &[
+            "workload",
+            "family",
+            "all",
+            "samples",
+            "vectors",
+            "seed",
+            "threads",
+            "size",
+            "sets",
+            "points",
+            "cache-dir",
+            "no-cache",
+            "format",
+        ],
+        run: pareto::pareto,
+    },
+    Command {
         name: "list",
         summary: "List registered workloads and operator families",
         positional: "",
@@ -231,7 +254,7 @@ pub const COMMANDS: &[Command] = &[
         summary: "Inspect or clear the report cache (stats | clear | dir)",
         positional: "<stats|clear|dir>",
         max_positional: 1,
-        flags: &["cache-dir"],
+        flags: &["cache-dir", "format"],
         run: tools::cache,
     },
 ];
@@ -255,10 +278,24 @@ pub(crate) fn reports_for(
     sweeps::characterize_all_cached(&lib, args.settings(), configs, &args.engine(), cache)
 }
 
+/// Resolves a workload name against the registry, builds the instance
+/// from the shared CLI parameters, and picks its legacy fixture seed
+/// unless `--seed` was given explicitly — the common front half of
+/// [`workload_cells`] and the `pareto` overlay.
+pub(crate) fn resolve_workload(
+    args: &Args,
+    name: &str,
+) -> Result<(Box<dyn Workload>, u64), String> {
+    let entry = apx_apps::workload::find(name)
+        .ok_or_else(|| format!("unknown workload `{name}` — see `apxperf list`"))?;
+    let workload = (entry.build)(&args.workload_params())?;
+    let seed = args.seed_or(workload.default_seed());
+    Ok((workload, seed))
+}
+
 /// The standard application-sweep runner behind `app`, `sweep
-/// --workload` and every figure/table case-study alias: build the named
-/// workload from the shared CLI parameters, pick its legacy fixture seed
-/// unless `--seed` was given explicitly, and run the engine-parallel,
+/// --workload` and every figure/table case-study alias: resolve the
+/// named workload ([`resolve_workload`]) and run the engine-parallel,
 /// cache-aware cell sweep of `apx_core::appenergy`.
 pub(crate) fn workload_cells(
     args: &Args,
@@ -266,10 +303,7 @@ pub(crate) fn workload_cells(
     name: &str,
     configs: &[OperatorConfig],
 ) -> Result<(Box<dyn Workload>, Vec<WorkloadCell>), String> {
-    let entry = apx_apps::workload::find(name)
-        .ok_or_else(|| format!("unknown workload `{name}` — see `apxperf list`"))?;
-    let workload = (entry.build)(&args.workload_params())?;
-    let seed = args.seed_or(workload.default_seed());
+    let (workload, seed) = resolve_workload(args, name)?;
     let lib = Library::fdsoi28();
     let cells = appenergy::sweep_workload_cached(
         workload.as_ref(),
@@ -285,7 +319,10 @@ pub(crate) fn workload_cells(
 
 /// Prints the end-of-run cache summary to **stderr** — stdout carries
 /// only the results, so cold and warm runs remain byte-identical there
-/// (CI diffs them) while the operator still sees what the cache did.
+/// (CI diffs them) while the operator still sees what the cache did —
+/// and persists the counters into the cache directory so a later
+/// `apxperf cache stats --format json` can report the last run's
+/// traffic machine-readably (the CI assertion path).
 pub(crate) fn report_cache_use(cache: &Cache) {
     if !cache.is_enabled() {
         return;
@@ -294,6 +331,7 @@ pub(crate) fn report_cache_use(cache: &Cache) {
     if stats.hits + stats.misses + stats.writes == 0 {
         return;
     }
+    cache.persist_run_stats();
     eprintln!(
         "cache: {} hits, {} misses, {} writes ({})",
         stats.hits,

@@ -94,14 +94,21 @@ pub(super) fn report(args: &Args) -> Result<(), String> {
 }
 
 /// `apxperf cache <stats|clear|dir>` — maintenance of the report cache:
-/// `stats` prints blob count, on-disk location and the key schema;
-/// `clear` deletes every blob; `dir` prints just the directory (for
-/// shell substitution).
+/// `stats` prints blob count, on-disk location, the key schema and the
+/// hit/miss/write counters persisted by the most recent characterizing
+/// run (`--format json` emits all of it machine-readably — the CI
+/// warm-run assertions `jq` this instead of grepping stderr); `clear`
+/// deletes every blob; `dir` prints just the directory (for shell
+/// substitution).
 pub(super) fn cache(args: &Args) -> Result<(), String> {
     let action = args.positional.first().map_or("stats", String::as_str);
     let cache = args.cache();
     match action {
         "stats" => {
+            if args.format == crate::args::Format::Json {
+                println!("{}", stats_json(&cache));
+                return Ok(());
+            }
             match cache.dir() {
                 Some(dir) => {
                     println!("dir:     {}", dir.display());
@@ -115,6 +122,13 @@ pub(super) fn cache(args: &Args) -> Result<(), String> {
                         Library::fdsoi28().name(),
                         core_cache::library_fingerprint(&Library::fdsoi28())
                     );
+                    match cache.last_run_stats() {
+                        Some(run) => println!(
+                            "last run: {} hits, {} misses, {} writes",
+                            run.hits, run.misses, run.writes
+                        ),
+                        None => println!("last run: none recorded"),
+                    }
                 }
                 None => println!("cache disabled (no directory could be derived)"),
             }
@@ -134,4 +148,49 @@ pub(super) fn cache(args: &Args) -> Result<(), String> {
         }
         other => Err(format!("`{other}` is not stats, clear or dir")),
     }
+}
+
+/// The machine-readable form of `cache stats`: directory, blob count,
+/// schema/library fingerprints and the persisted last-run counters
+/// (`null` when no characterizing run has recorded any) as one JSON
+/// object.
+fn stats_json(cache: &apx_cache::Cache) -> String {
+    use serde::Value;
+    let lib = Library::fdsoi28();
+    let dir = match cache.dir() {
+        Some(dir) => Value::String(dir.display().to_string()),
+        None => Value::Null,
+    };
+    let last_run = match cache.last_run_stats() {
+        Some(run) => Value::Object(vec![
+            ("hits".to_owned(), Value::UInt(u128::from(run.hits))),
+            ("misses".to_owned(), Value::UInt(u128::from(run.misses))),
+            ("writes".to_owned(), Value::UInt(u128::from(run.writes))),
+        ]),
+        None => Value::Null,
+    };
+    let object = Value::Object(vec![
+        ("dir".to_owned(), dir),
+        ("blobs".to_owned(), Value::UInt(cache.len() as u128)),
+        (
+            "report_schema_version".to_owned(),
+            Value::UInt(u128::from(core_cache::REPORT_SCHEMA_VERSION)),
+        ),
+        (
+            "app_sweep_schema_version".to_owned(),
+            Value::UInt(u128::from(core_cache::APP_SWEEP_SCHEMA_VERSION)),
+        ),
+        (
+            "library".to_owned(),
+            Value::Object(vec![
+                ("name".to_owned(), Value::String(lib.name().to_owned())),
+                (
+                    "fingerprint".to_owned(),
+                    Value::String(core_cache::library_fingerprint(&lib).hex()),
+                ),
+            ]),
+        ),
+        ("last_run".to_owned(), last_run),
+    ]);
+    serde_json::to_string_pretty(&object).expect("JSON rendering is infallible")
 }

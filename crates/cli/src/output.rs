@@ -33,6 +33,8 @@ pub fn family(config: &OperatorConfig) -> &'static str {
             apx_operators::FaType::Two => "RCAApx-2",
             apx_operators::FaType::Three => "RCAApx-3",
         },
+        OperatorConfig::AddSized { .. } => "FxP-sized",
+        OperatorConfig::MulSized { .. } => "MUL-sized",
         OperatorConfig::MulExact { .. } | OperatorConfig::MulBooth { .. } => "MUL-exact",
         OperatorConfig::MulTrunc { .. } => "MULt",
         OperatorConfig::MulRound { .. } => "MULr",

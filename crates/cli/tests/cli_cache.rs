@@ -196,6 +196,7 @@ fn every_subcommand_has_uniform_help() {
         "table5",
         "table6",
         "app",
+        "pareto",
         "list",
         "ablations",
         "bench-baseline",
@@ -278,6 +279,118 @@ fn new_workloads_run_end_to_end_and_warm_app_sweeps_are_pure_hits() {
             "{workload}: warm run must be pure cell hits: {warm_err}"
         );
     }
+}
+
+#[test]
+fn pareto_overlay_flags_dominated_approx_configs_and_warms_to_pure_hits() {
+    // the acceptance contract of the Pareto explorer: the overlay runs
+    // end-to-end, at least one sized-exact config dominates an
+    // approximate one, a warm rerun is served entirely from the cache
+    // with byte-identical stdout, and `cache stats --format json`
+    // exposes the warm run's counters machine-readably.
+    let dir = TempDir::new("pareto");
+    let args = [
+        "pareto",
+        "--workload",
+        "fir",
+        "--family",
+        "points",
+        "--samples",
+        "1000",
+        "--vectors",
+        "50",
+        "--cache-dir",
+        dir.path(),
+    ];
+    let cold = run(&args);
+    assert!(cold.status.success(), "cold pareto failed: {cold:?}");
+    let text = stdout(&cold);
+    assert!(
+        text.contains("+ sized baseline"),
+        "overlay header missing:\n{text}"
+    );
+    // an approximate row flagged as dominated by a sized-exact config:
+    // role `approx`, dominated_by a Sized-family name
+    let dominated_approx = text.lines().any(|line| {
+        let dominated_by = line.split_whitespace().last().unwrap_or("-");
+        line.contains(" approx ")
+            && ["ADDst(", "ADDsr(", "MULst(", "MULsr(", "ADD(", "MUL("]
+                .iter()
+                .any(|sized| dominated_by.starts_with(sized))
+    });
+    assert!(
+        dominated_approx,
+        "no approximate config dominated by a sized-exact one:\n{text}"
+    );
+    assert!(
+        text.contains("approximate configs dominated by the sized baseline"),
+        "summary line missing:\n{text}"
+    );
+
+    let warm = run(&args);
+    assert!(warm.status.success(), "warm pareto failed: {warm:?}");
+    assert_eq!(
+        stdout(&cold),
+        stdout(&warm),
+        "warm stdout must be byte-identical"
+    );
+    // pure-hit contract without pinning the overlay's config count (the
+    // exact brittleness the CI jq assertions also avoid): no misses, no
+    // writes, some hits
+    let warm_err = String::from_utf8(warm.stderr.clone()).unwrap();
+    assert!(
+        warm_err.contains(" hits, 0 misses, 0 writes"),
+        "warm pareto must be pure cell hits: {warm_err}"
+    );
+    assert!(
+        !warm_err.contains("cache: 0 hits"),
+        "warm pareto must actually hit: {warm_err}"
+    );
+
+    // the machine-readable stats the CI assertions jq: last_run reflects
+    // the warm run's pure hits
+    let stats = run(&[
+        "cache",
+        "stats",
+        "--cache-dir",
+        dir.path(),
+        "--format",
+        "json",
+    ]);
+    assert!(stats.status.success());
+    let json = stdout(&stats);
+    assert!(json.contains("\"last_run\""), "{json}");
+    assert!(!json.contains("\"hits\": 0"), "{json}");
+    assert!(json.contains("\"misses\": 0"), "{json}");
+    assert!(json.contains("\"writes\": 0"), "{json}");
+}
+
+#[test]
+fn invalid_engine_knobs_are_usage_errors() {
+    // --threads 0 used to fall through silently to "auto"; all zero
+    // engine knobs are now rejected at the door, like the invalid
+    // --size/--sets workload parameters below
+    for flag in ["--threads", "--samples", "--vectors"] {
+        let bad = run(&["fig3", flag, "0"]);
+        assert_eq!(bad.status.code(), Some(2), "{flag} 0 must be a usage error");
+        let err = String::from_utf8(bad.stderr).unwrap();
+        assert!(err.contains("at least 1"), "{flag}: {err}");
+        assert!(err.contains("Usage: apxperf fig3"), "{flag}: {err}");
+    }
+    // the existing workload-parameter rejections stay runtime errors
+    // with user-facing messages (constructor constraints, exit code 1)
+    let bad_size = run(&[
+        "app",
+        "jpeg",
+        "--size",
+        "30",
+        "--samples",
+        "500",
+        "--no-cache",
+    ]);
+    assert!(!bad_size.status.success());
+    let err = String::from_utf8(bad_size.stderr).unwrap();
+    assert!(err.contains("multiple of 8"), "{err}");
 }
 
 #[test]

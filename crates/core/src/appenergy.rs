@@ -49,6 +49,7 @@ pub fn partner_multiplier(adder: &OperatorConfig) -> OperatorConfig {
     assert_eq!(adder.op_class(), OpClass::Adder, "adder expected");
     let width = match *adder {
         OperatorConfig::AddTrunc { q, .. } | OperatorConfig::AddRound { q, .. } => q,
+        OperatorConfig::AddSized { w, .. } => w,
         _ => adder.input_bits(),
     };
     let n = width.clamp(2, 24);
@@ -65,6 +66,7 @@ pub fn partner_adder(mult: &OperatorConfig) -> OperatorConfig {
     assert_eq!(mult.op_class(), OpClass::Multiplier, "multiplier expected");
     let width = match *mult {
         OperatorConfig::MulTrunc { q, .. } | OperatorConfig::MulRound { q, .. } => q.max(2),
+        OperatorConfig::MulSized { w, .. } => 2 * w,
         _ => mult.input_bits(),
     };
     OperatorConfig::AddExact { n: width.min(32) }

@@ -28,7 +28,10 @@
 //! themselves are `apx_apps` [`Workload`](apx_apps::Workload)s;
 //! [`appenergy::sweep_workload`] runs any of them over any configuration
 //! list — engine-parallel across (workload × config) cells and cacheable
-//! per cell ([`cache::workload_cell_key`]).
+//! per cell ([`cache::workload_cell_key`]). On top of the sweeps,
+//! [`pareto`] computes strict-dominance quality–energy fronts, overlaying
+//! the `Sized` data-sizing baseline against the approximate families —
+//! the paper's headline comparison ([`pareto::workload_pareto`]).
 //!
 //! Every sampling loop is sharded and runs on an [`Engine`]
 //! (`APXPERF_THREADS`); per-shard RNG streams are derived from the master
@@ -68,6 +71,7 @@
 pub mod appenergy;
 pub mod cache;
 mod characterizer;
+pub mod pareto;
 mod report;
 pub mod sweeps;
 

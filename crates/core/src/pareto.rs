@@ -1,0 +1,292 @@
+//! Quality–energy Pareto analysis — the paper's headline comparison as
+//! a library primitive.
+//!
+//! The central claim of the paper is that functional approximation must
+//! be judged *against careful data sizing*: a bit-width-reduced exact
+//! operator is often on (or beyond) the quality–energy Pareto front the
+//! approximate operators trace out. This module computes that front for
+//! any set of candidates:
+//!
+//! * [`ParetoSample`] — one candidate as a `(quality, energy)` pair
+//!   (quality **higher** is better, energy **lower** is better), with
+//!   adapters from characterization reports ([`report_sample`]) and
+//!   workload sweep cells ([`cell_sample`]);
+//! * [`analyze`] — strict-dominance verdicts for every candidate,
+//!   engine-parallel over candidates and bit-identical for any thread
+//!   count: who is on the front, and for each dropped candidate a
+//!   dominating **front member** (preferring a flagged baseline member
+//!   when one dominates);
+//! * [`workload_pareto`] — the end-to-end driver behind
+//!   `apxperf pareto`: sweep a workload over the configurations through
+//!   the content-addressed app-sweep/report caches, then overlay the
+//!   [`Sized`](apx_operators::SizedAdd) data-sizing baseline against the
+//!   approximate families.
+//!
+//! # Dominance semantics
+//!
+//! `a` **strictly dominates** `b` iff `a` is at least as good on both
+//! axes and strictly better on at least one:
+//! `a.quality >= b.quality && a.energy <= b.energy` with one of the two
+//! strict. Ties (identical points) dominate neither way, so duplicates
+//! coexist on the front. Dominance is transitive, which guarantees every
+//! dropped candidate is dominated by some *front member* — the invariant
+//! the property tests pin.
+
+use crate::appenergy::WorkloadCell;
+use crate::characterizer::CharacterizerSettings;
+use crate::report::OperatorReport;
+use apx_apps::Workload;
+use apx_cache::Cache;
+use apx_cells::Library;
+use apx_engine::Engine;
+use apx_operators::OperatorConfig;
+use serde::{Deserialize, Serialize};
+
+/// One Pareto candidate: a quality coordinate (higher is better) and an
+/// energy coordinate (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoSample {
+    /// Quality, higher is better (e.g. SNR dB, MSSIM, `-mse_db`).
+    pub quality: f64,
+    /// Energy/cost, lower is better (e.g. `E_app` pJ, PDP pJ).
+    pub energy: f64,
+}
+
+/// Whether `a` strictly dominates `b` (see the [module docs](self)).
+/// `NaN` on either axis never dominates and is never dominated.
+#[must_use]
+pub fn dominates(a: ParetoSample, b: ParetoSample) -> bool {
+    a.quality >= b.quality && a.energy <= b.energy && (a.quality > b.quality || a.energy < b.energy)
+}
+
+/// The verdict on one candidate of an [`analyze`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParetoVerdict {
+    /// Candidate is non-dominated (on the quality–energy front).
+    pub on_front: bool,
+    /// For a dominated candidate, the index of a dominating **front
+    /// member**: the lowest-index preferred (baseline) front dominator
+    /// when one exists, otherwise the lowest-index front dominator.
+    pub dominated_by: Option<usize>,
+}
+
+/// Computes the strict-dominance verdict of every candidate,
+/// engine-parallel over candidates.
+///
+/// `preferred[i]` flags baseline candidates (the Sized family in the
+/// CLI overlay): a dominated candidate reports a preferred dominator
+/// whenever one of the preferred front members dominates it. The result
+/// is a pure function of the inputs — candidate order included, thread
+/// count excluded — so verdicts are bit-identical for any engine.
+///
+/// # Panics
+/// Panics unless `samples` and `preferred` have equal lengths.
+#[must_use]
+pub fn analyze(
+    samples: &[ParetoSample],
+    preferred: &[bool],
+    engine: &Engine,
+) -> Vec<ParetoVerdict> {
+    assert_eq!(
+        samples.len(),
+        preferred.len(),
+        "one preference flag per sample"
+    );
+    // pass 1: front membership (each candidate scans all others)
+    let on_front: Vec<bool> = engine.map_indexed(samples.len(), |i| {
+        samples
+            .iter()
+            .enumerate()
+            .all(|(j, &other)| j == i || !dominates(other, samples[i]))
+    });
+    // pass 2: pick a dominating front member for every dropped candidate
+    engine.map_indexed(samples.len(), |i| {
+        if on_front[i] {
+            return ParetoVerdict {
+                on_front: true,
+                dominated_by: None,
+            };
+        }
+        let front_dominator = |want_preferred: bool| {
+            (0..samples.len()).find(|&j| {
+                on_front[j]
+                    && (preferred[j] || !want_preferred)
+                    && dominates(samples[j], samples[i])
+            })
+        };
+        ParetoVerdict {
+            on_front: false,
+            dominated_by: front_dominator(true).or_else(|| front_dominator(false)),
+        }
+    })
+}
+
+/// Adapter: one characterized operator as a Pareto candidate — accuracy
+/// (`-mse_db`, so exact operators sit at `+inf`) against energy per
+/// operation (PDP in pJ). The standalone-operator view of Figs. 3/4.
+#[must_use]
+pub fn report_sample(report: &OperatorReport) -> ParetoSample {
+    ParetoSample {
+        quality: -report.error.mse_db,
+        energy: report.hw.pdp_pj,
+    }
+}
+
+/// Adapter: one workload sweep cell as a Pareto candidate — the unified
+/// workload quality score against the eq. (1) application energy of the
+/// run's operation mix. The application view of Figs. 5/6.
+#[must_use]
+pub fn cell_sample(cell: &WorkloadCell) -> ParetoSample {
+    ParetoSample {
+        quality: cell.run.score.value(),
+        energy: cell.model.energy_pj(cell.run.counts),
+    }
+}
+
+/// One row of a workload Pareto overlay: the swept cell, its coordinates,
+/// whether it belongs to the sized fixed-point baseline, and its verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoEntry {
+    /// The swept (workload × config) cell.
+    pub cell: WorkloadCell,
+    /// The quality/energy coordinates ([`cell_sample`]).
+    pub sample: ParetoSample,
+    /// Whether the configuration is a carefully-sized fixed-point
+    /// operator (the baseline side of the overlay).
+    pub sized: bool,
+    /// Front membership and dominator.
+    pub verdict: ParetoVerdict,
+}
+
+/// The end-to-end workload Pareto overlay: sweeps `workload` over
+/// `configs` through the content-addressed report/app-sweep caches
+/// ([`crate::appenergy::sweep_workload_cached`]), then computes
+/// strict-dominance verdicts with the sized fixed-point configurations
+/// as the preferred baseline. Entries come back in input-config order;
+/// the whole result is bit-identical for any thread count, and a warm
+/// cache turns the sweep into pure cell lookups.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn workload_pareto(
+    workload: &dyn Workload,
+    seed: u64,
+    lib: &Library,
+    settings: CharacterizerSettings,
+    configs: &[OperatorConfig],
+    engine: &Engine,
+    cache: &Cache,
+) -> Vec<ParetoEntry> {
+    let cells = crate::appenergy::sweep_workload_cached(
+        workload, seed, lib, settings, configs, engine, cache,
+    );
+    let samples: Vec<ParetoSample> = cells.iter().map(cell_sample).collect();
+    let preferred: Vec<bool> = cells.iter().map(|c| c.config.is_fixed_point()).collect();
+    let verdicts = analyze(&samples, &preferred, engine);
+    cells
+        .into_iter()
+        .zip(samples)
+        .zip(preferred)
+        .zip(verdicts)
+        .map(|(((cell, sample), sized), verdict)| ParetoEntry {
+            cell,
+            sample,
+            sized,
+            verdict,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(quality: f64, energy: f64) -> ParetoSample {
+        ParetoSample { quality, energy }
+    }
+
+    fn verdicts(points: &[(f64, f64)], preferred: &[bool]) -> Vec<ParetoVerdict> {
+        let samples: Vec<ParetoSample> = points.iter().map(|&(q, e)| sample(q, e)).collect();
+        analyze(&samples, preferred, &Engine::single_threaded())
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = sample(2.0, 1.0);
+        assert!(dominates(a, sample(1.0, 2.0)));
+        assert!(dominates(a, sample(2.0, 2.0)));
+        assert!(dominates(a, sample(1.0, 1.0)));
+        assert!(!dominates(a, a), "identical points never dominate");
+        assert!(!dominates(a, sample(3.0, 0.5)));
+        // +inf quality dominates everything cheaper-or-equal
+        assert!(dominates(sample(f64::INFINITY, 1.0), a));
+        // NaN neither dominates nor is dominated
+        let nan = sample(f64::NAN, 1.0);
+        assert!(!dominates(nan, a));
+        assert!(!dominates(a, nan));
+    }
+
+    #[test]
+    fn front_and_dominators_are_consistent() {
+        // b(2,2) and c(3,4) are mutually non-dominated (c buys quality
+        // with energy): both on the front. a(1,5), d(0.5,9) and e(1.5,6)
+        // are all strictly dominated by b.
+        let v = verdicts(
+            &[(1.0, 5.0), (2.0, 2.0), (3.0, 4.0), (0.5, 9.0), (1.5, 6.0)],
+            &[false; 5],
+        );
+        assert!(!v[0].on_front);
+        assert_eq!(v[0].dominated_by, Some(1));
+        assert!(v[1].on_front);
+        assert!(v[2].on_front, "top quality is never dominated");
+        assert!(!v[3].on_front);
+        assert_eq!(v[3].dominated_by, Some(1), "lowest-index front dominator");
+        assert!(!v[4].on_front);
+        assert_eq!(v[4].dominated_by, Some(1));
+    }
+
+    #[test]
+    fn preferred_front_dominator_wins() {
+        // both 0 and 1 dominate 2; only 1 is a preferred baseline member
+        let v = verdicts(&[(5.0, 1.0), (4.0, 0.5), (3.0, 2.0)], &[false, true, false]);
+        assert!(v[0].on_front && v[1].on_front);
+        assert_eq!(
+            v[2].dominated_by,
+            Some(1),
+            "preferred dominator beats the lower-index one"
+        );
+    }
+
+    #[test]
+    fn duplicates_share_the_front() {
+        let v = verdicts(&[(1.0, 1.0), (1.0, 1.0)], &[false, false]);
+        assert!(v[0].on_front && v[1].on_front, "ties dominate neither way");
+    }
+
+    #[test]
+    fn verdicts_are_thread_count_invariant() {
+        let points: Vec<ParetoSample> = (0..97)
+            .map(|i| {
+                let x = f64::from(i);
+                sample((x * 37.0) % 11.0, (x * 53.0) % 13.0)
+            })
+            .collect();
+        let preferred: Vec<bool> = (0..97).map(|i| i % 3 == 0).collect();
+        let serial = analyze(&points, &preferred, &Engine::single_threaded());
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                analyze(&points, &preferred, &Engine::new(threads)),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_and_cell_samples_orient_the_axes() {
+        // directly pin the orientation contract: better operator ==
+        // higher quality, lower energy
+        let better = sample(10.0, 1.0);
+        let worse = sample(5.0, 2.0);
+        assert!(dominates(better, worse));
+    }
+}

@@ -7,7 +7,7 @@ use crate::report::{OperatorReport, ParetoPoint};
 use apx_cache::Cache;
 use apx_cells::Library;
 use apx_engine::Engine;
-use apx_operators::{FaType, OperatorConfig};
+use apx_operators::{FaType, OperatorConfig, QuantMode};
 
 pub use crate::report::ParetoPoint as Point;
 
@@ -107,6 +107,11 @@ pub const FAMILIES: &[SweepFamily] = &[
         configs: table_adder_points,
     },
     SweepFamily {
+        name: "sized",
+        summary: "the 16-bit Sized data-sizing baseline (ADDst/ADDsr + MULst/MULsr)",
+        configs: sized_baseline_16bit,
+    },
+    SweepFamily {
         name: "all",
         summary: "adders and multipliers combined",
         configs: || {
@@ -176,6 +181,57 @@ pub fn multipliers_16bit() -> Vec<OperatorConfig> {
     ]
 }
 
+/// The 16-bit sized-exact **adder** baseline: the exact adder plus both
+/// quantization modes at every useful effective width. These are the
+/// data-sizing points the Pareto overlay holds approximate adders
+/// against.
+#[must_use]
+pub fn sized_adders_16bit() -> Vec<OperatorConfig> {
+    let mut configs = vec![OperatorConfig::AddExact { n: 16 }];
+    for w in 4..=15 {
+        configs.push(OperatorConfig::AddSized {
+            n: 16,
+            w,
+            mode: QuantMode::Trunc,
+        });
+        configs.push(OperatorConfig::AddSized {
+            n: 16,
+            w,
+            mode: QuantMode::Round,
+        });
+    }
+    configs
+}
+
+/// The 16-bit sized-exact **multiplier** baseline: the exact multiplier
+/// plus both quantization modes at every useful effective width. Unlike
+/// `MULt`, every point here shrinks the whole partial-product array.
+#[must_use]
+pub fn sized_multipliers_16bit() -> Vec<OperatorConfig> {
+    let mut configs = vec![OperatorConfig::MulExact { n: 16 }];
+    for w in 4..=15 {
+        configs.push(OperatorConfig::MulSized {
+            n: 16,
+            w,
+            mode: QuantMode::Trunc,
+        });
+        configs.push(OperatorConfig::MulSized {
+            n: 16,
+            w,
+            mode: QuantMode::Round,
+        });
+    }
+    configs
+}
+
+/// The full 16-bit Sized baseline family (adders and multipliers).
+#[must_use]
+pub fn sized_baseline_16bit() -> Vec<OperatorConfig> {
+    let mut configs = sized_adders_16bit();
+    configs.extend(sized_multipliers_16bit());
+    configs
+}
+
 /// The width sweep of §IV ("number of bits varying from 2 to 32") for
 /// exact adders — used by scaling ablations.
 #[must_use]
@@ -238,6 +294,7 @@ mod tests {
             .chain(exact_adder_width_sweep())
             .chain(mult_partner_sweep())
             .chain(table_adder_points())
+            .chain(sized_baseline_16bit())
         {
             let op = config.build();
             assert!(!op.name().is_empty());

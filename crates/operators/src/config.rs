@@ -5,6 +5,7 @@
 use crate::adders::{Aca, AddExact, AddRound, AddTrunc, EtaIi, EtaIv, FaType, RcaApx};
 use crate::mul_array::{Aam, MulExact, MulRound, MulTrunc};
 use crate::mul_booth::{Abm, AbmUncorrected, MulBoothExact};
+use crate::sized::{QuantMode, SizedAdd, SizedMul};
 use crate::traits::{ApxOperator, OpClass};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -111,6 +112,28 @@ pub enum OperatorConfig {
         /// Operand width (even).
         n: u32,
     },
+    /// Sized exact adder: inputs quantized to `w` effective bits
+    /// (truncation or round-to-nearest), then an exact `w`-bit addition —
+    /// the data-sizing baseline family.
+    AddSized {
+        /// Interface operand width.
+        n: u32,
+        /// Effective operand width after input quantization.
+        w: u32,
+        /// Input quantization mode.
+        mode: QuantMode,
+    },
+    /// Sized exact multiplier: inputs quantized to `w` effective bits,
+    /// then an exact `w×w → 2w` multiplication (the array itself
+    /// shrinks, unlike the output-truncated `MULt`).
+    MulSized {
+        /// Interface operand width.
+        n: u32,
+        /// Effective operand width after input quantization.
+        w: u32,
+        /// Input quantization mode.
+        mode: QuantMode,
+    },
 }
 
 impl OperatorConfig {
@@ -136,6 +159,8 @@ impl OperatorConfig {
             OperatorConfig::Aam { n } => Box::new(Aam::new(n)),
             OperatorConfig::Abm { n } => Box::new(Abm::new(n)),
             OperatorConfig::AbmUncorrected { n } => Box::new(AbmUncorrected::new(n)),
+            OperatorConfig::AddSized { n, w, mode } => Box::new(SizedAdd::new(n, w, mode)),
+            OperatorConfig::MulSized { n, w, mode } => Box::new(SizedMul::new(n, w, mode)),
         }
     }
 
@@ -149,7 +174,8 @@ impl OperatorConfig {
             | OperatorConfig::Aca { .. }
             | OperatorConfig::EtaIv { .. }
             | OperatorConfig::EtaIi { .. }
-            | OperatorConfig::RcaApx { .. } => OpClass::Adder,
+            | OperatorConfig::RcaApx { .. }
+            | OperatorConfig::AddSized { .. } => OpClass::Adder,
             _ => OpClass::Multiplier,
         }
     }
@@ -168,6 +194,8 @@ impl OperatorConfig {
                 | OperatorConfig::MulTrunc { .. }
                 | OperatorConfig::MulRound { .. }
                 | OperatorConfig::MulBooth { .. }
+                | OperatorConfig::AddSized { .. }
+                | OperatorConfig::MulSized { .. }
         )
     }
 
@@ -191,6 +219,20 @@ impl OperatorConfig {
                 Ok(())
             } else {
                 Err(format!("multiplier width n={n} out of range 2..=24"))
+            }
+        };
+        let sized_w = |n: u32, w: u32, mode: QuantMode| -> Result<(), String> {
+            let ok = match mode {
+                QuantMode::Trunc => (2..=n).contains(&w),
+                QuantMode::Round => (2..n).contains(&w),
+            };
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "effective width w={w} out of range 2..{}{n} for mode `{mode}`",
+                    if mode == QuantMode::Trunc { "=" } else { "" }
+                ))
             }
         };
         let booth_n = |n: u32| -> Result<(), String> {
@@ -269,6 +311,14 @@ impl OperatorConfig {
             OperatorConfig::MulBooth { n }
             | OperatorConfig::Abm { n }
             | OperatorConfig::AbmUncorrected { n } => booth_n(n),
+            OperatorConfig::AddSized { n, w, mode } => {
+                adder_n(n)?;
+                sized_w(n, w, mode)
+            }
+            OperatorConfig::MulSized { n, w, mode } => {
+                mult_n(n)?;
+                sized_w(n, w, mode)
+            }
         }
     }
 
@@ -289,7 +339,9 @@ impl OperatorConfig {
             | OperatorConfig::MulBooth { n }
             | OperatorConfig::Aam { n }
             | OperatorConfig::Abm { n }
-            | OperatorConfig::AbmUncorrected { n } => n,
+            | OperatorConfig::AbmUncorrected { n }
+            | OperatorConfig::AddSized { n, .. }
+            | OperatorConfig::MulSized { n, .. } => n,
         }
     }
 }
@@ -334,8 +386,8 @@ impl std::str::FromStr for OperatorConfig {
         let err = || {
             ParseConfigError(format!(
                 "invalid operator `{s}` — expected paper notation like \
-                 ADDt(16,10), ACA(16,4), ETAIV(16,4), RCAApx(16,6,3), \
-                 MULt(16,16), AAM(16), ABM(16)"
+                 ADDt(16,10), ADDst(16,10), ACA(16,4), ETAIV(16,4), \
+                 RCAApx(16,6,3), MULt(16,16), MULsr(16,10), AAM(16), ABM(16)"
             ))
         };
         let text = s.trim();
@@ -396,6 +448,26 @@ impl std::str::FromStr for OperatorConfig {
                 [n, w] if w == 2 * n => Ok(OperatorConfig::MulBooth { n }),
                 _ => Err(err()),
             },
+            "addst" => two().map(|(n, w)| OperatorConfig::AddSized {
+                n,
+                w,
+                mode: QuantMode::Trunc,
+            }),
+            "addsr" => two().map(|(n, w)| OperatorConfig::AddSized {
+                n,
+                w,
+                mode: QuantMode::Round,
+            }),
+            "mulst" => two().map(|(n, w)| OperatorConfig::MulSized {
+                n,
+                w,
+                mode: QuantMode::Trunc,
+            }),
+            "mulsr" => two().map(|(n, w)| OperatorConfig::MulSized {
+                n,
+                w,
+                mode: QuantMode::Round,
+            }),
             "aam" => one().map(|n| OperatorConfig::Aam { n }),
             "abm" => one().map(|n| OperatorConfig::Abm { n }),
             "abmu" => one().map(|n| OperatorConfig::AbmUncorrected { n }),
@@ -428,6 +500,22 @@ mod tests {
                 "RCAApx(16,6,3)",
             ),
             (OperatorConfig::MulTrunc { n: 16, q: 16 }, "MULt(16,16)"),
+            (
+                OperatorConfig::AddSized {
+                    n: 16,
+                    w: 10,
+                    mode: QuantMode::Trunc,
+                },
+                "ADDst(16,10)",
+            ),
+            (
+                OperatorConfig::MulSized {
+                    n: 16,
+                    w: 10,
+                    mode: QuantMode::Round,
+                },
+                "MULsr(16,10)",
+            ),
             (OperatorConfig::Aam { n: 16 }, "AAM(16)"),
             (OperatorConfig::Abm { n: 16 }, "ABM(16)"),
             (OperatorConfig::AbmUncorrected { n: 16 }, "ABMu(16)"),
@@ -472,6 +560,26 @@ mod tests {
             OperatorConfig::Aam { n: 16 },
             OperatorConfig::Abm { n: 16 },
             OperatorConfig::AbmUncorrected { n: 16 },
+            OperatorConfig::AddSized {
+                n: 16,
+                w: 10,
+                mode: QuantMode::Trunc,
+            },
+            OperatorConfig::AddSized {
+                n: 16,
+                w: 10,
+                mode: QuantMode::Round,
+            },
+            OperatorConfig::MulSized {
+                n: 16,
+                w: 10,
+                mode: QuantMode::Trunc,
+            },
+            OperatorConfig::MulSized {
+                n: 16,
+                w: 10,
+                mode: QuantMode::Round,
+            },
         ];
         for config in all {
             let printed = config.to_string();
@@ -512,6 +620,10 @@ mod tests {
             "MULt(30,4)",
             "ABM(15)",
             "AAM(2)",
+            "ADDst(16,1)",
+            "ADDsr(16,16)",
+            "MULst(16,17)",
+            "MULsr(30,4)",
         ] {
             assert!(bad.parse::<OperatorConfig>().is_err(), "{bad:?}");
         }
@@ -544,6 +656,10 @@ mod tests {
                     m: k,
                     fa_type: FaType::Two,
                 });
+                for mode in [QuantMode::Trunc, QuantMode::Round] {
+                    grid.push(OperatorConfig::AddSized { n, w: k, mode });
+                    grid.push(OperatorConfig::MulSized { n, w: k, mode });
+                }
             }
         }
         let quiet = std::panic::take_hook();

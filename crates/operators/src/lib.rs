@@ -52,6 +52,7 @@ mod config;
 mod context;
 mod mul_array;
 mod mul_booth;
+mod sized;
 mod traits;
 pub(crate) mod util;
 
@@ -60,5 +61,6 @@ pub use config::{OperatorConfig, ParseConfigError};
 pub use context::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};
 pub use mul_array::{Aam, MulExact, MulRound, MulTrunc};
 pub use mul_booth::{Abm, AbmUncorrected, MulBoothExact};
+pub use sized::{QuantMode, SizedAdd, SizedMul};
 pub use traits::{ApxOperator, OpClass};
 pub use util::{centered_diff, mask_u, sext, to_u};

@@ -39,7 +39,7 @@ impl BwTerm {
         }
     }
 
-    fn net(self, b: &mut NetlistBuilder, av: &[NetId], bv: &[NetId]) -> NetId {
+    pub(crate) fn net(self, b: &mut NetlistBuilder, av: &[NetId], bv: &[NetId]) -> NetId {
         match self {
             BwTerm::And(i, j) => b.and(av[i as usize], bv[j as usize]),
             BwTerm::Nand(i, j) => b.nand(av[i as usize], bv[j as usize]),
@@ -84,7 +84,7 @@ pub(crate) fn sum_terms(cols: &[Vec<BwTerm>], a: u64, b: u64, keep: impl Fn(u32)
 }
 
 /// Builds the nets of the kept columns for a netlist.
-fn build_columns(
+pub(crate) fn build_columns(
     b: &mut NetlistBuilder,
     cols: &[Vec<BwTerm>],
     av: &[NetId],

@@ -1,0 +1,469 @@
+//! The `Sized` operator family: **exact** adders and multipliers
+//! evaluated at a reduced effective bit-width — the paper's careful
+//! data-sizing baseline, packaged as one uniform family so the Pareto
+//! explorer can sweep it against the approximate operators.
+//!
+//! A sized operator keeps the full `n`-bit operand interface but
+//! quantizes both inputs down to `w` effective bits (dropping the `n-w`
+//! LSBs by truncation or round-to-nearest, selectable via [`QuantMode`])
+//! and then applies a plain **exact** `w`-bit operator:
+//!
+//! * [`SizedAdd`] — `ADDst(n,w)` / `ADDsr(n,w)`: a `w`-bit ripple-carry
+//!   adder behind the quantizers.
+//! * [`SizedMul`] — `MULst(n,w)` / `MULsr(n,w)`: a `w×w → 2w`
+//!   Baugh-Wooley array multiplier behind the quantizers. Unlike
+//!   [`MulTrunc`](crate::MulTrunc) (which computes the full `n×n` array
+//!   and drops *output* bits), the sized multiplier's hardware actually
+//!   shrinks quadratically with `w` — the data-path saving the paper
+//!   credits to careful sizing.
+//!
+//! The only error source is input quantization; the arithmetic itself
+//! never fails. This is precisely the baseline the paper holds the
+//! functional-approximation operators against.
+
+use crate::mul_array::{build_columns, bw_terms, BwTerm};
+use crate::traits::{ApxOperator, OpClass};
+use crate::util::{bit, bitsliced_batch, mask_u, sext, to_u};
+use apx_netlist::{NetId, Netlist, NetlistBuilder};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a sized operator drops the `n-w` operand LSBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantMode {
+    /// Plain truncation: `x -> x >> s`. Biased but free.
+    Trunc,
+    /// Round to nearest: `x -> (x >> s) + x_{s-1}`, wrapping at `w` bits
+    /// (the same convention as [`AddRound`](crate::AddRound)). Centers
+    /// the quantization error for one extra carry input per operand.
+    Round,
+}
+
+impl QuantMode {
+    /// Notation letter: `t` for truncation, `r` for rounding.
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            QuantMode::Trunc => 't',
+            QuantMode::Round => 'r',
+        }
+    }
+}
+
+impl fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Quantizes the `n`-bit pattern `x` down to `w` effective bits.
+/// Truncation keeps the top `w` bits; rounding adds the first dropped
+/// bit back in. The rounding increment of the most-positive pattern
+/// either wraps modulo `2^w` (`saturate == false`, the
+/// [`AddRound`](crate::AddRound) convention — harmless behind a mod-`2^w`
+/// adder) or saturates at the positive maximum (`saturate == true`, for
+/// signed multipliers, where a wrap would flip the operand's sign).
+/// For `w == n` this is the identity.
+#[inline]
+fn quantize(x: u64, n: u32, w: u32, mode: QuantMode, saturate: bool) -> u64 {
+    let s = n - w;
+    if s == 0 {
+        return x & mask_u(w);
+    }
+    let q = (x >> s) & mask_u(w);
+    match mode {
+        QuantMode::Trunc => q,
+        QuantMode::Round => {
+            let r = bit(x, s - 1);
+            if saturate && q == mask_u(w) >> 1 {
+                q // +max rounds to itself instead of wrapping to -max
+            } else {
+                q.wrapping_add(r) & mask_u(w)
+            }
+        }
+    }
+}
+
+/// Builds the quantized-operand nets for a sized multiplier netlist: the
+/// top `w` input bits, incremented by the first dropped bit when
+/// rounding, with the increment saturated at the positive maximum (the
+/// signed-operand convention of [`quantize`] with `saturate == true`).
+fn quantized_bus(b: &mut NetlistBuilder, bus: &[NetId], s: usize, mode: QuantMode) -> Vec<NetId> {
+    match mode {
+        QuantMode::Trunc => bus[s..].to_vec(),
+        QuantMode::Round => {
+            let w = bus.len() - s;
+            let (rounded, _carry) = b.increment_row(&bus[s..], bus[s - 1]);
+            // overflow happens exactly on the +max pattern 0111…1 with a
+            // set round bit; saturate by forcing the result back to +max
+            let mut ov = bus[s - 1];
+            for &kept in &bus[s..bus.len() - 1] {
+                ov = b.and(ov, kept);
+            }
+            let nsign = b.not(bus[bus.len() - 1]);
+            ov = b.and(ov, nsign);
+            let mut out = Vec::with_capacity(w);
+            for (i, &r) in rounded.iter().enumerate() {
+                if i < w - 1 {
+                    out.push(b.or(r, ov)); // low bits of +max are all 1
+                } else {
+                    let nov = b.not(ov);
+                    out.push(b.and(r, nov)); // sign bit of +max is 0
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Sized exact adder `ADDst(n,w)` / `ADDsr(n,w)`: both `n`-bit operands
+/// are quantized to `w` bits and added by an exact `w`-bit ripple-carry
+/// adder. The careful-data-sizing adder baseline of the Pareto overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizedAdd {
+    n: u32,
+    w: u32,
+    mode: QuantMode,
+}
+
+impl SizedAdd {
+    /// Creates a sized adder over `n`-bit operands at `w` effective bits.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 32` and `2 <= w <= n` (`w < n` for
+    /// rounding — at `w == n` there is nothing to round).
+    #[must_use]
+    pub fn new(n: u32, w: u32, mode: QuantMode) -> Self {
+        assert!((2..=32).contains(&n), "n out of range");
+        match mode {
+            QuantMode::Trunc => assert!((2..=n).contains(&w), "w out of range"),
+            QuantMode::Round => assert!((2..n).contains(&w), "w out of range"),
+        }
+        SizedAdd { n, w, mode }
+    }
+
+    /// Effective operand width after quantization.
+    #[must_use]
+    pub fn effective_bits(&self) -> u32 {
+        self.w
+    }
+}
+
+impl ApxOperator for SizedAdd {
+    fn name(&self) -> String {
+        format!("ADDs{}({},{})", self.mode, self.n, self.w)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Adder
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        self.w
+    }
+    fn output_shift(&self) -> u32 {
+        self.n - self.w
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        let qa = quantize(a, self.n, self.w, self.mode, false);
+        let qb = quantize(b, self.n, self.w, self.mode, false);
+        qa.wrapping_add(qb) & mask_u(self.w)
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Bitsliced twin of the scalar model: a word-parallel ripple over
+        // the kept bits, with the round bits folded in as the two extra
+        // carry inputs the ADDr netlist uses.
+        let (n, w) = (self.n as usize, self.w as usize);
+        let s = n - w;
+        let round = self.mode == QuantMode::Round;
+        bitsliced_batch(self.n, a, b, out, |aw, bw, ow| {
+            let mut carry = if round { aw[s - 1] } else { 0 };
+            for i in 0..w {
+                let (ai, bi) = (aw[s + i], bw[s + i]);
+                ow[i] = ai ^ bi ^ carry;
+                carry = (ai & bi) | (ai & carry) | (bi & carry);
+            }
+            if round {
+                // increment row folding in b's round bit
+                let mut c = bw[s - 1];
+                for o in ow.iter_mut().take(w) {
+                    let next = *o & c;
+                    *o ^= c;
+                    c = next;
+                }
+            }
+            ow[w..n].fill(0);
+        });
+    }
+    fn netlist(&self) -> Netlist {
+        let s = (self.n - self.w) as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", self.n as usize);
+        let bv = b.input_bus("b", self.n as usize);
+        let sum = match self.mode {
+            QuantMode::Trunc => {
+                let zero = b.tie0();
+                let (sum, _cout) = b.ripple_adder(&av[s..], &bv[s..], zero);
+                sum
+            }
+            QuantMode::Round => {
+                // w-bit adder with cin = a's round bit, then an increment
+                // row folding in b's round bit (the AddRound structure).
+                let (sum, _cout) = b.ripple_adder(&av[s..], &bv[s..], av[s - 1]);
+                let (rounded, _c2) = b.increment_row(&sum, bv[s - 1]);
+                rounded
+            }
+        };
+        b.output_bus("y", &sum);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+/// Sized exact multiplier `MULst(n,w)` / `MULsr(n,w)`: both `n`-bit
+/// operands are quantized to `w` bits and multiplied by an exact
+/// `w×w → 2w` Baugh-Wooley array. The multiplier hardware shrinks
+/// quadratically with `w` — the data-path saving behind the paper's
+/// headline comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizedMul {
+    n: u32,
+    w: u32,
+    mode: QuantMode,
+    cols: Vec<Vec<BwTerm>>,
+}
+
+impl SizedMul {
+    /// Creates a sized multiplier over `n`-bit operands at `w` effective
+    /// bits.
+    ///
+    /// # Panics
+    /// Panics unless `2 <= n <= 24` and `2 <= w <= n` (`w < n` for
+    /// rounding).
+    #[must_use]
+    pub fn new(n: u32, w: u32, mode: QuantMode) -> Self {
+        assert!((2..=24).contains(&n), "n out of range");
+        match mode {
+            QuantMode::Trunc => assert!((2..=n).contains(&w), "w out of range"),
+            QuantMode::Round => assert!((2..n).contains(&w), "w out of range"),
+        }
+        SizedMul {
+            n,
+            w,
+            mode,
+            cols: bw_terms(w),
+        }
+    }
+
+    /// Effective operand width after quantization.
+    #[must_use]
+    pub fn effective_bits(&self) -> u32 {
+        self.w
+    }
+}
+
+impl ApxOperator for SizedMul {
+    fn name(&self) -> String {
+        format!("MULs{}({},{})", self.mode, self.n, self.w)
+    }
+    fn op_class(&self) -> OpClass {
+        OpClass::Multiplier
+    }
+    fn input_bits(&self) -> u32 {
+        self.n
+    }
+    fn output_bits(&self) -> u32 {
+        2 * self.w
+    }
+    fn output_shift(&self) -> u32 {
+        2 * (self.n - self.w)
+    }
+    fn eval_u(&self, a: u64, b: u64) -> u64 {
+        // The signed product of the quantized operands — extensionally
+        // equal to summing the w-bit Baugh-Wooley grid the netlist
+        // instantiates (pinned by the cross-verification tests).
+        let qa = quantize(a, self.n, self.w, self.mode, true);
+        let qb = quantize(b, self.n, self.w, self.mode, true);
+        to_u(sext(qa, self.w).wrapping_mul(sext(qb, self.w)), 2 * self.w)
+    }
+    fn netlist(&self) -> Netlist {
+        let s = (self.n - self.w) as usize;
+        let w = self.w as usize;
+        let mut b = NetlistBuilder::new(self.name());
+        let av = b.input_bus("a", self.n as usize);
+        let bv = b.input_bus("b", self.n as usize);
+        let qa = quantized_bus(&mut b, &av, s, self.mode);
+        let qb = quantized_bus(&mut b, &bv, s, self.mode);
+        let columns = build_columns(&mut b, &self.cols, &qa, &qb, |_| true);
+        let out = b.compress_columns(columns, 2 * w);
+        b.output_bus("y", &out);
+        let mut nl = b.finish();
+        nl.prune_dead_gates();
+        nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddRound, AddTrunc, MulTrunc};
+    use apx_netlist::verify::{verify_exhaustive2, verify_random2};
+
+    fn cross_verify(op: &dyn ApxOperator) {
+        let nl = op.netlist();
+        verify_exhaustive2(&nl, |a, b| op.eval_u(a, b))
+            .unwrap_or_else(|e| panic!("{}: {e}", op.name()));
+    }
+
+    #[test]
+    fn sized_adder_netlist_matches_model() {
+        for mode in [QuantMode::Trunc, QuantMode::Round] {
+            for (n, w) in [(8, 2), (8, 5), (8, 7), (10, 4)] {
+                cross_verify(&SizedAdd::new(n, w, mode));
+            }
+        }
+        cross_verify(&SizedAdd::new(8, 8, QuantMode::Trunc));
+    }
+
+    #[test]
+    fn sized_multiplier_netlist_matches_model() {
+        for mode in [QuantMode::Trunc, QuantMode::Round] {
+            for (n, w) in [(4, 2), (5, 3), (6, 4), (6, 5)] {
+                cross_verify(&SizedMul::new(n, w, mode));
+            }
+        }
+        cross_verify(&SizedMul::new(5, 5, QuantMode::Trunc));
+        let big = SizedMul::new(16, 10, QuantMode::Round);
+        verify_random2(&big.netlist(), 2_000, 17, |a, b| big.eval_u(a, b)).unwrap();
+    }
+
+    #[test]
+    fn sized_trunc_adder_matches_the_legacy_fixed_point_operators() {
+        // ADDst(n,w) computes the same function as ADDt(n,w) and
+        // ADDsr(n,w) the same as ADDr(n,w): the Sized family unifies the
+        // legacy sizing operators under one parameterization.
+        let st = SizedAdd::new(8, 5, QuantMode::Trunc);
+        let t = AddTrunc::new(8, 5);
+        let sr = SizedAdd::new(8, 5, QuantMode::Round);
+        let r = AddRound::new(8, 5);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(st.eval_u(a, b), t.eval_u(a, b), "trunc a={a} b={b}");
+                assert_eq!(sr.eval_u(a, b), r.eval_u(a, b), "round a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_sized_operators_are_exact() {
+        let add = SizedAdd::new(8, 8, QuantMode::Trunc);
+        let mul = SizedMul::new(4, 4, QuantMode::Trunc);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(add.eval_u(a, b), add.reference_u(a, b));
+            }
+        }
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(mul.aligned_u(a, b), mul.reference_u(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_beats_truncation_on_sized_mse() {
+        for op_pair in [
+            (
+                Box::new(SizedAdd::new(8, 5, QuantMode::Trunc)) as Box<dyn ApxOperator>,
+                Box::new(SizedAdd::new(8, 5, QuantMode::Round)) as Box<dyn ApxOperator>,
+            ),
+            (
+                Box::new(SizedMul::new(6, 4, QuantMode::Trunc)),
+                Box::new(SizedMul::new(6, 4, QuantMode::Round)),
+            ),
+        ] {
+            let (tr, ro) = op_pair;
+            let bits = tr.ref_bits();
+            let (mut se_t, mut se_r) = (0i128, 0i128);
+            let m = mask_u(tr.input_bits());
+            for a in 0..=m {
+                for b in 0..=m {
+                    let r = tr.reference_u(a, b);
+                    let et = i128::from(crate::centered_diff(r, tr.aligned_u(a, b), bits));
+                    let er = i128::from(crate::centered_diff(r, ro.aligned_u(a, b), bits));
+                    se_t += et * et;
+                    se_r += er * er;
+                }
+            }
+            assert!(se_r < se_t, "{}: round {se_r} !< trunc {se_t}", tr.name());
+        }
+    }
+
+    #[test]
+    fn sized_multiplier_hardware_shrinks_with_w() {
+        // the whole point of the family: the sized multiplier's array is
+        // w×w, not n×n — gates must fall sharply with w, and below the
+        // full-interface fixed-width multiplier of the same n
+        let full = MulTrunc::new(16, 16).netlist().stats().num_gates;
+        let w12 = SizedMul::new(16, 12, QuantMode::Trunc)
+            .netlist()
+            .stats()
+            .num_gates;
+        let w8 = SizedMul::new(16, 8, QuantMode::Trunc)
+            .netlist()
+            .stats()
+            .num_gates;
+        assert!(w12 < full, "MULst(16,12) {w12} !< MULt(16,16) {full}");
+        assert!(w8 < w12, "MULst(16,8) {w8} !< MULst(16,12) {w12}");
+    }
+
+    #[test]
+    fn sized_batch_matches_scalar_exhaustively() {
+        let ops: Vec<Box<dyn ApxOperator>> = vec![
+            Box::new(SizedAdd::new(8, 3, QuantMode::Trunc)),
+            Box::new(SizedAdd::new(8, 5, QuantMode::Round)),
+            Box::new(SizedAdd::new(8, 8, QuantMode::Trunc)),
+            Box::new(SizedMul::new(8, 5, QuantMode::Trunc)),
+            Box::new(SizedMul::new(8, 6, QuantMode::Round)),
+        ];
+        for op in ops {
+            let mut batch_a = Vec::new();
+            let mut batch_b = Vec::new();
+            let mut out = vec![0u64; 256];
+            for a in 0..256u64 {
+                batch_a.clear();
+                batch_b.clear();
+                for b in 0..256u64 {
+                    batch_a.push(a);
+                    batch_b.push(b);
+                }
+                op.eval_batch(&batch_a, &batch_b, &mut out);
+                for (b, &got) in out.iter().enumerate() {
+                    assert_eq!(got, op.eval_u(a, b as u64), "{} a={a} b={b}", op.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_notation_names() {
+        assert_eq!(
+            SizedAdd::new(16, 10, QuantMode::Trunc).name(),
+            "ADDst(16,10)"
+        );
+        assert_eq!(
+            SizedAdd::new(16, 10, QuantMode::Round).name(),
+            "ADDsr(16,10)"
+        );
+        assert_eq!(
+            SizedMul::new(16, 10, QuantMode::Trunc).name(),
+            "MULst(16,10)"
+        );
+        assert_eq!(
+            SizedMul::new(16, 10, QuantMode::Round).name(),
+            "MULsr(16,10)"
+        );
+    }
+}

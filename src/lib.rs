@@ -41,7 +41,7 @@ pub mod prelude {
     pub use apx_cache::{Cache, CacheKey, CacheStats, KeyBuilder};
     pub use apx_cells::{CellKind, CellSpec, Library, OperatingPoint};
     pub use apx_core::{
-        appenergy, sweeps, Characterizer, CharacterizerSettings, Engine, OperatorReport,
+        appenergy, pareto, sweeps, Characterizer, CharacterizerSettings, Engine, OperatorReport,
         ParetoPoint,
     };
     pub use apx_fixture::{clusters, image, signal};
