@@ -10,9 +10,30 @@ use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::signal;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
 
 /// Q15 fractional bits of the twiddle factors.
 const TWIDDLE_FRAC: u32 = 15;
+
+/// Call-site tag of the complex twiddle product.
+pub const SITE_TWIDDLE: &str = "fft.twiddle";
+
+/// Call-site tag of the butterfly combine with per-stage scaling.
+pub const SITE_BUTTERFLY: &str = "fft.butterfly";
+
+/// Declared call-sites of the FFT workload.
+pub const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        tag: SITE_TWIDDLE,
+        ops: SiteOps::AddMul,
+        summary: "complex twiddle product (4 muls + 2 combining adds per butterfly)",
+    },
+    SiteSpec {
+        tag: SITE_BUTTERFLY,
+        ops: SiteOps::Add,
+        summary: "butterfly add/sub with per-stage >>1 scaling (4 adds per butterfly)",
+    },
+];
 
 /// Precomputed Q15 twiddle table for an `n`-point FFT (`w_k = e^{-2πik/n}`,
 /// `k < n/2`).
@@ -63,18 +84,18 @@ pub fn fft_fixed<C: ArithContext + ?Sized>(re: &mut [i64], im: &mut [i64], ctx: 
                 let j = i + len / 2;
                 let (wr, wi) = tw[k * step];
                 // t = w * x[j]   (4 mults + 2 adds, schoolbook)
-                let prod_rr = ctx.mul(wr, re[j]) >> TWIDDLE_FRAC;
-                let prod_ii = ctx.mul(wi, im[j]) >> TWIDDLE_FRAC;
-                let prod_ri = ctx.mul(wr, im[j]) >> TWIDDLE_FRAC;
-                let prod_ir = ctx.mul(wi, re[j]) >> TWIDDLE_FRAC;
-                let tr = ctx.sub(prod_rr, prod_ii);
-                let ti = ctx.add(prod_ri, prod_ir);
+                let prod_rr = ctx.mul_at(SITE_TWIDDLE, wr, re[j]) >> TWIDDLE_FRAC;
+                let prod_ii = ctx.mul_at(SITE_TWIDDLE, wi, im[j]) >> TWIDDLE_FRAC;
+                let prod_ri = ctx.mul_at(SITE_TWIDDLE, wr, im[j]) >> TWIDDLE_FRAC;
+                let prod_ir = ctx.mul_at(SITE_TWIDDLE, wi, re[j]) >> TWIDDLE_FRAC;
+                let tr = ctx.sub_at(SITE_TWIDDLE, prod_rr, prod_ii);
+                let ti = ctx.add_at(SITE_TWIDDLE, prod_ri, prod_ir);
                 // butterfly with per-stage >>1 scaling (4 adds)
                 let (ur, ui) = (re[i], im[i]);
-                re[i] = ctx.add(ur, tr) >> 1;
-                im[i] = ctx.add(ui, ti) >> 1;
-                re[j] = ctx.sub(ur, tr) >> 1;
-                im[j] = ctx.sub(ui, ti) >> 1;
+                re[i] = ctx.add_at(SITE_BUTTERFLY, ur, tr) >> 1;
+                im[i] = ctx.add_at(SITE_BUTTERFLY, ui, ti) >> 1;
+                re[j] = ctx.sub_at(SITE_BUTTERFLY, ur, tr) >> 1;
+                im[j] = ctx.sub_at(SITE_BUTTERFLY, ui, ti) >> 1;
             }
         }
         len <<= 1;
@@ -200,6 +221,10 @@ impl Workload for FftWorkload {
         format!("fft/v1:len={}", self.len)
     }
 
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
+    }
+
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
         let fixture = FftFixture::new(self.len, seed);
         let result = fixture.run(ctx);
@@ -263,8 +288,7 @@ mod tests {
     fn truncated_adders_degrade_psnr_monotonically() {
         let fixture = FftFixture::radix2_32(3);
         let psnr_of = |q: u32| {
-            let mut ctx =
-                OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
+            let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q }.build());
             fixture.run(&mut ctx).score.value()
         };
         let (hi, mid, lo) = (psnr_of(15), psnr_of(11), psnr_of(7));
@@ -275,16 +299,13 @@ mod tests {
     #[test]
     fn approximate_adder_also_degrades_output() {
         let fixture = FftFixture::radix2_32(3);
-        let mut ctx = OperatorCtx::new(
-            Some(
-                OperatorConfig::RcaApx {
-                    n: 16,
-                    m: 4,
-                    fa_type: apx_operators::FaType::Three,
-                }
-                .build(),
-            ),
-            None,
+        let mut ctx = OperatorCtx::with_adder(
+            OperatorConfig::RcaApx {
+                n: 16,
+                m: 4,
+                fa_type: apx_operators::FaType::Three,
+            }
+            .build(),
         );
         let result = fixture.run(&mut ctx);
         assert!(result.score.value() < 40.0);

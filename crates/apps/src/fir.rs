@@ -13,9 +13,20 @@ use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx};
 use apx_fixture::signal;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
 
 /// Q15 fractional bits of the filter taps.
 const TAP_FRAC: u32 = 15;
+
+/// Call-site tag of the multiply-accumulate kernel.
+pub const SITE_MAC: &str = "fir.mac";
+
+/// Declared call-sites of the FIR workload.
+pub const SITES: &[SiteSpec] = &[SiteSpec {
+    tag: SITE_MAC,
+    ops: SiteOps::AddMul,
+    summary: "tap product and running accumulate of the convolution",
+}];
 
 /// Hamming-windowed sinc low-pass taps in Q15 (`cutoff` in cycles per
 /// sample, `0 < cutoff < 0.5`), normalized to unit DC gain before
@@ -61,10 +72,10 @@ pub fn fir_filter<C: ArithContext + ?Sized>(input: &[i64], taps: &[i64], ctx: &m
                 if j < 0 || j >= input.len() as isize || t == 0 {
                     continue;
                 }
-                let p = ctx.mul(t, input[j as usize]) >> TAP_FRAC;
+                let p = ctx.mul_at(SITE_MAC, t, input[j as usize]) >> TAP_FRAC;
                 acc = Some(match acc {
                     None => p,
-                    Some(a) => ctx.add(a, p),
+                    Some(a) => ctx.add_at(SITE_MAC, a, p),
                 });
             }
             acc.unwrap_or(0)
@@ -115,6 +126,10 @@ impl Workload for FirWorkload {
 
     fn fingerprint(&self) -> String {
         format!("fir/v1:taps={},len={},cutoff={CUTOFF}", self.taps, self.len)
+    }
+
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
     }
 
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {

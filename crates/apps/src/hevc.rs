@@ -12,6 +12,27 @@ use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::image::Image;
 use apx_fixture::motion::MotionField;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
+
+/// Call-site tag of the horizontal interpolation pass.
+pub const SITE_MC_H: &str = "hevc.mc_h";
+
+/// Call-site tag of the vertical interpolation pass.
+pub const SITE_MC_V: &str = "hevc.mc_v";
+
+/// Declared call-sites of the HEVC motion-compensation workload.
+pub const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        tag: SITE_MC_H,
+        ops: SiteOps::AddMul,
+        summary: "horizontal 8-tap luma interpolation pass",
+    },
+    SiteSpec {
+        tag: SITE_MC_V,
+        ops: SiteOps::AddMul,
+        summary: "vertical 8-tap luma interpolation pass",
+    },
+];
 
 /// The HEVC luma interpolation filters indexed by fractional phase
 /// (0 = integer, 1 = quarter, 2 = half, 3 = three-quarter).
@@ -30,7 +51,12 @@ const FILTER_SHIFT: u32 = 6;
 /// multiplies by nonzero taps and accumulates (zero taps cost nothing in
 /// hardware and are skipped, matching the integer-phase shortcut of real
 /// decoders).
-fn filter8<C: ArithContext + ?Sized>(samples: &[i64; 8], taps: &[i64; 8], ctx: &mut C) -> i64 {
+fn filter8<C: ArithContext + ?Sized>(
+    samples: &[i64; 8],
+    taps: &[i64; 8],
+    site: &'static str,
+    ctx: &mut C,
+) -> i64 {
     // Operands are pre-scaled so their product occupies the upper half of
     // the 32-bit range: a fixed-width (16-of-32) multiplier then loses at
     // most ~2 units of the t·s term. Exact contexts are bit-identical to
@@ -50,10 +76,10 @@ fn filter8<C: ArithContext + ?Sized>(samples: &[i64; 8], taps: &[i64; 8], ctx: &
         } else {
             (s.clamp(-32_767, 32_767), TAP_SCALE)
         };
-        let p = ctx.mul(t << TAP_SCALE, scaled_s) >> shift_back;
+        let p = ctx.mul_at(site, t << TAP_SCALE, scaled_s) >> shift_back;
         acc = Some(match acc {
             None => p,
-            Some(a) => ctx.add(a, p),
+            Some(a) => ctx.add_at(site, a, p),
         });
     }
     let acc = acc.unwrap_or(0);
@@ -156,6 +182,10 @@ impl Workload for McWorkload {
         format!("hevc/v1:size={}", self.size)
     }
 
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
+    }
+
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
         let fixture = McFixture::synthetic(self.size, seed);
         let (result, score) = fixture.run(ctx);
@@ -195,14 +225,14 @@ pub fn motion_compensate<C: ArithContext + ?Sized>(
                     for (c, w) in window.iter_mut().enumerate() {
                         *w = i64::from(frame.pixel_clamped(bx + c as isize - 3, sy));
                     }
-                    *out = filter8(&window, &LUMA_FILTERS[fx], ctx);
+                    *out = filter8(&window, &LUMA_FILTERS[fx], SITE_MC_H, ctx);
                 }
             }
             // vertical pass
             let value = if fy == 0 {
                 inter[3]
             } else {
-                filter8(&inter, &LUMA_FILTERS[fy], ctx)
+                filter8(&inter, &LUMA_FILTERS[fy], SITE_MC_V, ctx)
             };
             pixels[y * width + x] = value.clamp(0, 255) as u8;
         }
@@ -222,10 +252,10 @@ pub fn ops_per_fractional_pixel() -> OpCounts {
     let samples = [0i64; 8];
     // horizontal: 8 intermediate rows with a quarter-pel filter
     for _ in 0..8 {
-        let _ = filter8(&samples, &LUMA_FILTERS[1], &mut ctx);
+        let _ = filter8(&samples, &LUMA_FILTERS[1], SITE_MC_H, &mut ctx);
     }
     // vertical: one half-pel filter
-    let _ = filter8(&samples, &LUMA_FILTERS[2], &mut ctx);
+    let _ = filter8(&samples, &LUMA_FILTERS[2], SITE_MC_V, &mut ctx);
     ctx.counts()
 }
 
@@ -285,23 +315,17 @@ mod tests {
     fn sized_adders_track_the_paper_quality_band() {
         // Table III: ADDt(16,10) reaches MSSIM ≈ 0.99 on the MC filter.
         let fixture = McFixture::synthetic(64, 4);
-        let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::AddTrunc { n: 16, q: 10 }.build()),
-            None,
-        );
+        let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q: 10 }.build());
         let (_, score) = fixture.run(&mut ctx);
         assert!(score.value() > 0.9, "ADDt(16,10) MSSIM {score}");
         // and a brutally approximate adder scores worse
-        let mut harsh = OperatorCtx::new(
-            Some(
-                OperatorConfig::RcaApx {
-                    n: 16,
-                    m: 1,
-                    fa_type: FaType::Three,
-                }
-                .build(),
-            ),
-            None,
+        let mut harsh = OperatorCtx::with_adder(
+            OperatorConfig::RcaApx {
+                n: 16,
+                m: 1,
+                fa_type: FaType::Three,
+            }
+            .build(),
         );
         let (_, bad) = fixture.run(&mut harsh);
         assert!(bad < score, "harsh {bad} must be below sized {score}");

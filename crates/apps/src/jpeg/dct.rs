@@ -3,6 +3,12 @@
 
 use crate::ArithContext;
 
+/// Call-site tag of the row pass of the 2-D DCT.
+pub const SITE_DCT_ROW: &str = "jpeg.dct_row";
+
+/// Call-site tag of the column pass of the 2-D DCT.
+pub const SITE_DCT_COL: &str = "jpeg.dct_col";
+
 /// Fractional bits of the Q-format DCT coefficient table.
 pub const DCT_FRAC: u32 = 13;
 
@@ -28,20 +34,22 @@ pub fn dct8_coeffs_q13() -> [[i64; 8]; 8] {
     c
 }
 
-/// One-dimensional 8-point DCT through the context. Each product is
-/// rescaled to Q(guard) before accumulation so that every addition fits
-/// the 16-bit data-path, and the guard bits are dropped at the end.
+/// One-dimensional 8-point DCT through the context, recorded at the
+/// call-site `site` (row or column pass). Each product is rescaled to
+/// Q(guard) before accumulation so that every addition fits the 16-bit
+/// data-path, and the guard bits are dropped at the end.
 pub fn dct8_fixed<C: ArithContext + ?Sized>(
     input: &[i64; 8],
     coeffs: &[[i64; 8]; 8],
+    site: &'static str,
     ctx: &mut C,
 ) -> [i64; 8] {
     let mut out = [0i64; 8];
     for (u, coeff_row) in coeffs.iter().enumerate() {
-        let mut acc = ctx.mul(coeff_row[0], input[0]) >> (DCT_FRAC - DCT_GUARD);
+        let mut acc = ctx.mul_at(site, coeff_row[0], input[0]) >> (DCT_FRAC - DCT_GUARD);
         for x in 1..8 {
-            let p = ctx.mul(coeff_row[x], input[x]) >> (DCT_FRAC - DCT_GUARD);
-            acc = ctx.add(acc, p);
+            let p = ctx.mul_at(site, coeff_row[x], input[x]) >> (DCT_FRAC - DCT_GUARD);
+            acc = ctx.add_at(site, acc, p);
         }
         out[u] = acc >> DCT_GUARD;
     }
@@ -53,7 +61,7 @@ pub fn dct8x8_fixed<C: ArithContext + ?Sized>(block: &[[i64; 8]; 8], ctx: &mut C
     let coeffs = dct8_coeffs_q13();
     let mut rows = [[0i64; 8]; 8];
     for (r, row) in block.iter().enumerate() {
-        rows[r] = dct8_fixed(row, &coeffs, ctx);
+        rows[r] = dct8_fixed(row, &coeffs, SITE_DCT_ROW, ctx);
     }
     let mut out = [[0i64; 8]; 8];
     for c in 0..8 {
@@ -61,7 +69,7 @@ pub fn dct8x8_fixed<C: ArithContext + ?Sized>(block: &[[i64; 8]; 8], ctx: &mut C
             rows[0][c], rows[1][c], rows[2][c], rows[3][c], rows[4][c], rows[5][c], rows[6][c],
             rows[7][c],
         ];
-        let t = dct8_fixed(&col, &coeffs, ctx);
+        let t = dct8_fixed(&col, &coeffs, SITE_DCT_COL, ctx);
         for r in 0..8 {
             out[r][c] = t[r];
         }

@@ -12,7 +12,9 @@ mod dct;
 mod entropy;
 mod quant;
 
-pub use dct::{dct8_coeffs_q13, dct8_fixed, dct8x8_fixed, idct8x8_f64, DCT_FRAC};
+pub use dct::{
+    dct8_coeffs_q13, dct8_fixed, dct8x8_fixed, idct8x8_f64, DCT_FRAC, SITE_DCT_COL, SITE_DCT_ROW,
+};
 pub use entropy::{
     amplitude_bits, amplitude_value, size_category, BitReader, BitWriter, HuffmanCode,
 };
@@ -22,6 +24,21 @@ use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::image::Image;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
+
+/// Declared call-sites of the JPEG workload.
+pub const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        tag: SITE_DCT_ROW,
+        ops: SiteOps::AddMul,
+        summary: "row pass of the 8x8 fixed-point DCT",
+    },
+    SiteSpec {
+        tag: SITE_DCT_COL,
+        ops: SiteOps::AddMul,
+        summary: "column pass of the 8x8 fixed-point DCT",
+    },
+];
 
 /// Encoded image plus everything needed to score the encoder variant.
 #[derive(Debug, Clone)]
@@ -128,6 +145,10 @@ impl Workload for JpegWorkload {
 
     fn fingerprint(&self) -> String {
         format!("jpeg/v1:size={},quality={}", self.size, self.quality)
+    }
+
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
     }
 
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
@@ -417,20 +438,14 @@ mod tests {
     #[test]
     fn heavy_approximation_hurts_mssim() {
         let fixture = JpegFixture::synthetic(64, 90, 5);
-        let mut gentle = OperatorCtx::new(
-            Some(OperatorConfig::AddTrunc { n: 16, q: 15 }.build()),
-            None,
-        );
-        let mut harsh = OperatorCtx::new(
-            Some(
-                OperatorConfig::RcaApx {
-                    n: 16,
-                    m: 2,
-                    fa_type: FaType::Three,
-                }
-                .build(),
-            ),
-            None,
+        let mut gentle = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q: 15 }.build());
+        let mut harsh = OperatorCtx::with_adder(
+            OperatorConfig::RcaApx {
+                n: 16,
+                m: 2,
+                fa_type: FaType::Three,
+            }
+            .build(),
         );
         let (_, good) = fixture.run(&mut gentle);
         let (_, bad) = fixture.run(&mut harsh);

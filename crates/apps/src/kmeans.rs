@@ -11,20 +11,41 @@ use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx, OpCounts};
 use apx_fixture::clusters::PointCloud;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
 
 /// Scale shift applied after squaring: the fixed-width multiplier keeps
 /// the upper 16 of 32 product bits, so both branches of the comparison
 /// live at the same Q-format.
 const SQUARE_SHIFT: u32 = 16;
 
+/// Call-site tag of the coordinate differences.
+pub const SITE_DIST_DIFF: &str = "kmeans.dist_diff";
+
+/// Call-site tag of the squared-distance accumulation.
+pub const SITE_DIST_ACC: &str = "kmeans.dist_acc";
+
+/// Declared call-sites of the K-means workload.
+pub const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        tag: SITE_DIST_DIFF,
+        ops: SiteOps::Add,
+        summary: "coordinate differences dx/dy per point-centroid pair",
+    },
+    SiteSpec {
+        tag: SITE_DIST_ACC,
+        ops: SiteOps::AddMul,
+        summary: "fixed-width squarings and the dx2+dy2 accumulate",
+    },
+];
+
 /// Squared distance through the context, at the fixed-width product
 /// scale.
 fn distance2<C: ArithContext + ?Sized>(p: [i64; 2], c: [i64; 2], ctx: &mut C) -> i64 {
-    let dx = ctx.sub(p[0], c[0]);
-    let dy = ctx.sub(p[1], c[1]);
-    let dx2 = ctx.mul(dx, dx) >> SQUARE_SHIFT;
-    let dy2 = ctx.mul(dy, dy) >> SQUARE_SHIFT;
-    ctx.add(dx2, dy2)
+    let dx = ctx.sub_at(SITE_DIST_DIFF, p[0], c[0]);
+    let dy = ctx.sub_at(SITE_DIST_DIFF, p[1], c[1]);
+    let dx2 = ctx.mul_at(SITE_DIST_ACC, dx, dx) >> SQUARE_SHIFT;
+    let dy2 = ctx.mul_at(SITE_DIST_ACC, dy, dy) >> SQUARE_SHIFT;
+    ctx.add_at(SITE_DIST_ACC, dx2, dy2)
 }
 
 /// Result of one clustering run.
@@ -94,7 +115,9 @@ impl KmeansFixture {
     /// paper's success rate is the fraction of points landing in their
     /// true cluster.
     pub fn run<C: ArithContext + ?Sized>(&self, ctx: &mut C) -> KmeansResult {
-        ctx.reset_counts();
+        // count by delta rather than resetting, so a multi-set driver
+        // (KmeansWorkload) keeps its cumulative per-site ledger intact
+        let start = ctx.counts();
         let k = self.cloud.centers.len();
         let mut centroids: Vec<[i64; 2]> = self
             .cloud
@@ -131,11 +154,15 @@ impl KmeansFixture {
                 }
             }
         }
+        let end = ctx.counts();
         KmeansResult {
             score: QualityScore::success(&self.cloud.labels, &labels),
             labels,
             centroids,
-            counts: ctx.counts(),
+            counts: OpCounts {
+                adds: end.adds - start.adds,
+                muls: end.muls - start.muls,
+            },
         }
     }
 
@@ -182,7 +209,12 @@ impl Workload for KmeansWorkload {
         format!("kmeans/v1:sets={},points={}", self.sets, self.points)
     }
 
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
+    }
+
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {
+        ctx.reset_counts();
         let mut success = 0.0;
         let mut counts = OpCounts::default();
         for s in 0..self.sets {
@@ -230,10 +262,7 @@ mod tests {
     fn moderately_sized_adders_keep_high_success() {
         // Table V: ADDt(16,11) ≈ 99 %.
         let fixture = KmeansFixture::synthetic(10, 200, 21);
-        let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::AddTrunc { n: 16, q: 11 }.build()),
-            None,
-        );
+        let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q: 11 }.build());
         let result = fixture.run(&mut ctx);
         assert!(result.score.value() > 0.9, "got {}", result.score);
     }
@@ -242,8 +271,7 @@ mod tests {
     fn aggressive_truncation_degrades_success() {
         let fixture = KmeansFixture::synthetic(10, 200, 21);
         let run_q = |q: u32| {
-            let mut ctx =
-                OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q }.build()), None);
+            let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q }.build());
             fixture.run(&mut ctx).score.value()
         };
         let (hi, lo) = (run_q(11), run_q(4));
@@ -254,12 +282,10 @@ mod tests {
     fn uncorrected_abm_collapses_clustering() {
         // Table VI: ABM success ≈ 10 % (vs ≈ 99 % for MULt/AAM).
         let fixture = KmeansFixture::synthetic(10, 100, 21);
-        let mut good = OperatorCtx::new(
-            None,
-            Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
-        );
+        let mut good =
+            OperatorCtx::with_multiplier(OperatorConfig::MulTrunc { n: 16, q: 16 }.build());
         let mut bad =
-            OperatorCtx::new(None, Some(OperatorConfig::AbmUncorrected { n: 16 }.build()));
+            OperatorCtx::with_multiplier(OperatorConfig::AbmUncorrected { n: 16 }.build());
         let good_rate = fixture.run(&mut good).score.value();
         let bad_rate = fixture.run(&mut bad).score.value();
         assert!(good_rate > 0.95, "MULt: {good_rate}");

@@ -40,5 +40,8 @@ pub mod sobel;
 pub mod workload;
 
 pub use apx_metrics::QualityScore;
-pub use apx_operators::{ArithContext, CountingCtx, ExactCtx, OpCounts, OperatorCtx};
+pub use apx_operators::{
+    ArithContext, CountingCtx, ExactCtx, HeteroCtx, OpCounts, OperatorCtx, SiteCounts, SiteMap,
+    SiteOps, SiteSpec, DEFAULT_SITE,
+};
 pub use workload::{Workload, WorkloadEntry, WorkloadParams, WorkloadRun, WORKLOADS};

@@ -13,9 +13,30 @@ use crate::workload::{Workload, WorkloadRun};
 use crate::{ArithContext, ExactCtx};
 use apx_fixture::image::Image;
 use apx_metrics::QualityScore;
+use apx_operators::{SiteOps, SiteSpec};
 
 /// The horizontal Sobel kernel (`gx`); `gy` is its transpose.
 pub const SOBEL_X: [[i64; 3]; 3] = [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]];
+
+/// Call-site tag of the gradient kernel convolutions.
+pub const SITE_GRAD: &str = "sobel.grad";
+
+/// Call-site tag of the L1 magnitude combine.
+pub const SITE_MAG: &str = "sobel.mag";
+
+/// Declared call-sites of the Sobel workload.
+pub const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        tag: SITE_GRAD,
+        ops: SiteOps::AddMul,
+        summary: "3x3 gradient kernel taps and accumulation (gx and gy)",
+    },
+    SiteSpec {
+        tag: SITE_MAG,
+        ops: SiteOps::Add,
+        summary: "L1 magnitude |gx| + |gy| per interior pixel",
+    },
+];
 
 /// Operand pre-scaling for the kernel taps: |tap| ≤ 2 scaled to ≤ 8192,
 /// so a fixed-width (16-of-32) multiplier keeps the product information
@@ -45,10 +66,10 @@ fn convolve3<C: ArithContext + ?Sized>(
             if t == 0 {
                 continue;
             }
-            let p = ctx.mul(t << TAP_SCALE, s << SAMPLE_SCALE) >> TAP_SCALE;
+            let p = ctx.mul_at(SITE_GRAD, t << TAP_SCALE, s << SAMPLE_SCALE) >> TAP_SCALE;
             acc = Some(match acc {
                 None => p,
-                Some(a) => ctx.add(a, p),
+                Some(a) => ctx.add_at(SITE_GRAD, a, p),
             });
         }
     }
@@ -74,7 +95,7 @@ pub fn sobel_edges<C: ArithContext + ?Sized>(image: &Image, ctx: &mut C) -> Imag
             let gy = convolve3(&window, &kernel_y, ctx);
             // combine in the scaled domain (|gx|+|gy| ≤ 2·16 320, still
             // inside 16 bits), unscale only for the stored 8-bit pixel
-            let magnitude = ctx.add(gx.abs(), gy.abs()) >> SAMPLE_SCALE;
+            let magnitude = ctx.add_at(SITE_MAG, gx.abs(), gy.abs()) >> SAMPLE_SCALE;
             pixels[y * width + x] = magnitude.clamp(0, 255) as u8;
         }
     }
@@ -120,6 +141,10 @@ impl Workload for SobelWorkload {
 
     fn fingerprint(&self) -> String {
         format!("sobel/v1:size={}", self.size)
+    }
+
+    fn sites(&self) -> &'static [SiteSpec] {
+        SITES
     }
 
     fn run(&self, seed: u64, ctx: &mut dyn ArithContext) -> WorkloadRun {

@@ -12,6 +12,7 @@
 
 use crate::{ArithContext, OpCounts};
 use apx_metrics::QualityScore;
+use apx_operators::SiteSpec;
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs shared by workload constructors — the CLI flags map onto
@@ -87,6 +88,12 @@ pub trait Workload: std::fmt::Debug + Send + Sync {
     /// every constructor parameter. Part of the app-sweep cache key, so
     /// stale cells miss instead of resurfacing.
     fn fingerprint(&self) -> String;
+
+    /// The call-sites this workload's arithmetic is tagged with — the
+    /// assignment targets of the heterogeneous `tune` search. Every
+    /// tagged call in [`Workload::run`] must use one of these tags, and
+    /// no arithmetic may reach the untagged default site.
+    fn sites(&self) -> &'static [SiteSpec];
 
     /// Generates the seeded input, runs the application through `ctx`
     /// and scores it against the exact-arithmetic reference.
@@ -298,6 +305,61 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("SSIM window"), "{err}");
+    }
+
+    #[test]
+    fn every_workload_declares_sites_matching_its_recorded_traffic() {
+        let params = WorkloadParams {
+            size: 16,
+            sets: 1,
+            points: 20,
+        };
+        for entry in WORKLOADS {
+            let workload = (entry.build)(&params).expect(entry.name);
+            let sites = workload.sites();
+            assert!(!sites.is_empty(), "{}: no sites declared", entry.name);
+            for spec in sites {
+                assert!(
+                    spec.tag.starts_with(&format!("{}.", entry.name)),
+                    "{}: site tag `{}` must follow <workload>.<kernel>",
+                    entry.name,
+                    spec.tag
+                );
+                assert!(!spec.summary.is_empty(), "{}: {}", entry.name, spec.tag);
+            }
+            // run through a site-recording context and reconcile the ledger
+            let mut ctx = crate::OperatorCtx::exact();
+            let run = workload.run(workload.default_seed(), &mut ctx);
+            let recorded = ctx.site_counts();
+            assert_eq!(
+                recorded.total(),
+                run.counts,
+                "{}: per-site ledger must cover every counted op",
+                entry.name
+            );
+            assert_eq!(
+                recorded.get(apx_operators::DEFAULT_SITE),
+                OpCounts::default(),
+                "{}: arithmetic leaked to the untagged default site",
+                entry.name
+            );
+            for (site, counts) in recorded.iter() {
+                let spec = sites
+                    .iter()
+                    .find(|s| s.tag == site)
+                    .unwrap_or_else(|| panic!("{}: undeclared site `{site}`", entry.name));
+                assert!(
+                    counts.adds == 0 || spec.ops.uses_add(),
+                    "{}: adds at mul-only site `{site}`",
+                    entry.name
+                );
+                assert!(
+                    counts.muls == 0 || spec.ops.uses_mul(),
+                    "{}: muls at add-only site `{site}`",
+                    entry.name
+                );
+            }
+        }
     }
 
     #[test]

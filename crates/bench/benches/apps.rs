@@ -15,10 +15,7 @@ fn bench_apps(c: &mut Criterion) {
         b.iter(|| black_box(fft.run(&mut ctx)))
     });
     c.bench_function("fft32_trunc_adder", |b| {
-        let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::AddTrunc { n: 16, q: 10 }.build()),
-            None,
-        );
+        let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q: 10 }.build());
         b.iter(|| black_box(fft.run(&mut ctx)))
     });
 

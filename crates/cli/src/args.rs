@@ -120,6 +120,24 @@ pub const FLAGS: &[FlagSpec] = &[
         default: "",
         help: "overlay every approximate family (adders + multipliers) at once",
     },
+    FlagSpec {
+        name: "budget",
+        value: "EXPR",
+        default: "none",
+        help: "quality budget for tune: `>=30dB`, `<=1dB`, `>=95%` or `<=2%`",
+    },
+    FlagSpec {
+        name: "families",
+        value: "LIST",
+        default: "points,sized",
+        help: "comma-separated candidate families for tune (see `apxperf list`)",
+    },
+    FlagSpec {
+        name: "sites",
+        value: "",
+        default: "",
+        help: "list each workload's declared call-sites and op classes instead",
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
@@ -169,6 +187,12 @@ pub struct Args {
     pub workload: Option<String>,
     /// `--all`.
     pub all: bool,
+    /// `--budget` (`None` when not requested).
+    pub budget: Option<String>,
+    /// `--families` (`None` when not requested).
+    pub families: Option<String>,
+    /// `--sites`.
+    pub sites: bool,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Names of the flags the user explicitly passed (lets commands
@@ -193,6 +217,9 @@ impl Default for Args {
             family: "adders".to_owned(),
             workload: None,
             all: false,
+            budget: None,
+            families: None,
+            sites: false,
             positional: Vec::new(),
             explicit: Vec::new(),
         }
@@ -258,6 +285,10 @@ impl Args {
                 args.all = true;
                 continue;
             }
+            if name == "sites" {
+                args.sites = true;
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| format!("--{name} expects a value"))?;
@@ -283,6 +314,8 @@ impl Args {
                 "out" => args.out = value.clone(),
                 "family" => args.family = value.clone(),
                 "workload" => args.workload = Some(value.clone()),
+                "budget" => args.budget = Some(value.clone()),
+                "families" => args.families = Some(value.clone()),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -492,6 +525,24 @@ mod tests {
         assert!(args.all);
         assert!(args.was_set("all"));
         assert!(!Args::parse(&[], &["all"], 0).unwrap().all);
+    }
+
+    #[test]
+    fn tune_flags_and_sites_switch_parse() {
+        let args = Args::parse(
+            &argv(&["--budget", ">=30dB", "--families", "points,sized"]),
+            &["budget", "families"],
+            0,
+        )
+        .unwrap();
+        assert_eq!(args.budget.as_deref(), Some(">=30dB"));
+        assert_eq!(args.families.as_deref(), Some("points,sized"));
+        let defaulted = Args::parse(&[], &["budget", "families"], 0).unwrap();
+        assert_eq!(defaulted.budget, None);
+        assert_eq!(defaulted.families, None);
+        let args = Args::parse(&argv(&["--sites"]), &["sites"], 0).unwrap();
+        assert!(args.sites);
+        assert!(!Args::parse(&[], &["sites"], 0).unwrap().sites);
     }
 
     #[test]

@@ -73,8 +73,13 @@ pub(super) fn app(args: &Args) -> Result<(), String> {
 /// `apxperf list` — the registered workloads and operator families with
 /// their one-line descriptions, driven by the same registries the
 /// subcommands resolve against (so the listing cannot drift from what
-/// actually runs).
-pub(super) fn list(_args: &Args) -> Result<(), String> {
+/// actually runs). With `--sites`, prints each workload's declared
+/// call-sites and op classes instead — the assignment targets of
+/// `apxperf tune`.
+pub(super) fn list(args: &Args) -> Result<(), String> {
+    if args.sites {
+        return list_sites();
+    }
     println!("Workloads (apxperf app <NAME>, or sweep --workload <NAME>):");
     for entry in apx_apps::WORKLOADS {
         println!("  {:<12}{}", entry.name, entry.summary);
@@ -83,6 +88,29 @@ pub(super) fn list(_args: &Args) -> Result<(), String> {
     println!("Operator families (--family <NAME>):");
     for sweep_family in sweeps::FAMILIES {
         println!("  {:<12}{}", sweep_family.name, sweep_family.summary);
+    }
+    Ok(())
+}
+
+/// `apxperf list --sites` — every workload's declared call-sites, with
+/// the op classes that may fire there. Driven by [`Workload::sites`],
+/// the same declaration `tune` assigns over, so the listing cannot
+/// drift from what the search actually tunes.
+///
+/// [`Workload::sites`]: apx_apps::Workload::sites
+fn list_sites() -> Result<(), String> {
+    println!("Workload call-sites (the assignment targets of `apxperf tune`):");
+    for entry in apx_apps::WORKLOADS {
+        let workload = (entry.build)(&apx_apps::WorkloadParams::default())?;
+        println!("  {}", entry.name);
+        for spec in workload.sites() {
+            println!(
+                "    {:<18}{:<9}{}",
+                spec.tag,
+                spec.ops.label(),
+                spec.summary
+            );
+        }
     }
     Ok(())
 }

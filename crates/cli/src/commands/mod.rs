@@ -16,6 +16,7 @@ mod figures;
 mod pareto;
 mod tables;
 mod tools;
+mod tune;
 
 /// One registered subcommand.
 #[derive(Clone, Copy)]
@@ -196,11 +197,33 @@ pub const COMMANDS: &[Command] = &[
         run: pareto::pareto,
     },
     Command {
-        name: "list",
-        summary: "List registered workloads and operator families",
+        name: "tune",
+        summary: "Quality-budget auto-tuner: cheapest per-call-site operator assignment",
         positional: "",
         max_positional: 0,
-        flags: &[],
+        flags: &[
+            "workload",
+            "budget",
+            "families",
+            "samples",
+            "vectors",
+            "seed",
+            "threads",
+            "size",
+            "sets",
+            "points",
+            "cache-dir",
+            "no-cache",
+            "format",
+        ],
+        run: tune::tune,
+    },
+    Command {
+        name: "list",
+        summary: "List registered workloads, operator families and call-sites",
+        positional: "",
+        max_positional: 0,
+        flags: &["sites"],
         run: apps::list,
     },
     Command {

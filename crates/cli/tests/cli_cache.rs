@@ -197,6 +197,7 @@ fn every_subcommand_has_uniform_help() {
         "table6",
         "app",
         "pareto",
+        "tune",
         "list",
         "ablations",
         "bench-baseline",
@@ -412,6 +413,119 @@ fn list_names_every_registered_workload_and_family() {
 {text}"
         );
     }
+}
+
+#[test]
+fn list_sites_prints_every_workloads_call_sites() {
+    let output = run(&["list", "--sites"]);
+    assert!(output.status.success());
+    let text = stdout(&output);
+    for site in [
+        "fft.twiddle",
+        "fft.butterfly",
+        "fir.mac",
+        "sobel.grad",
+        "sobel.mag",
+        "kmeans.dist_diff",
+        "kmeans.dist_acc",
+        "hevc.mc_h",
+        "hevc.mc_v",
+        "jpeg.dct_row",
+        "jpeg.dct_col",
+    ] {
+        assert!(text.contains(site), "site {site} missing:\n{text}");
+    }
+    assert!(text.contains("add+mul"), "op-class labels missing:\n{text}");
+}
+
+#[test]
+fn tune_finds_a_budget_meeting_assignment_and_warms_to_pure_hits() {
+    // the acceptance contract of the tuner: `apxperf tune` returns a
+    // per-site assignment whose energy is <= the best uniform config
+    // meeting the same budget, deterministically across thread counts,
+    // and a warm rerun is served entirely from the hetero-cell cache.
+    let dir = TempDir::new("tune");
+    let base = [
+        "tune",
+        "--workload",
+        "fir",
+        "--budget",
+        ">=30dB",
+        "--samples",
+        "1000",
+        "--vectors",
+        "50",
+        "--cache-dir",
+        dir.path(),
+    ];
+    let mut serial = base.to_vec();
+    serial.extend(["--threads", "1"]);
+    let mut threaded = base.to_vec();
+    threaded.extend(["--threads", "4"]);
+
+    let cold = run(&serial);
+    assert!(cold.status.success(), "cold tune failed: {cold:?}");
+    let text = stdout(&cold);
+    assert!(
+        text.contains("fir.mac"),
+        "assignment table missing:\n{text}"
+    );
+    assert!(text.contains("best_uniform"), "summary missing:\n{text}");
+
+    // the winning energy never exceeds the best uniform baseline
+    let field = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.contains(name))
+            .unwrap_or_else(|| panic!("{name} missing:\n{text}"))
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} is not a number:\n{text}"))
+    };
+    assert!(
+        field("energy_pj") <= field("best_uniform_energy_pj"),
+        "tuned assignment must not cost more than the best uniform:\n{text}"
+    );
+
+    // deterministic across thread counts: byte-identical stdout
+    let other = run(&threaded);
+    assert!(other.status.success(), "threaded tune failed: {other:?}");
+    assert_eq!(
+        stdout(&cold),
+        stdout(&other),
+        "tune must be bit-identical for any thread count"
+    );
+
+    // the threaded rerun was warm: pure hits, no misses, no writes
+    let warm_err = String::from_utf8(other.stderr.clone()).unwrap();
+    assert!(
+        warm_err.contains(" hits, 0 misses, 0 writes"),
+        "warm tune must be pure cell hits: {warm_err}"
+    );
+    assert!(
+        !warm_err.contains("cache: 0 hits"),
+        "warm tune must actually hit: {warm_err}"
+    );
+
+    // a mismatched budget unit is a user-facing error
+    let bad = run(&[
+        "tune",
+        "--workload",
+        "kmeans",
+        "--budget",
+        ">=30dB",
+        "--samples",
+        "500",
+        "--sets",
+        "1",
+        "--points",
+        "20",
+        "--no-cache",
+    ]);
+    assert!(!bad.status.success());
+    let err = String::from_utf8(bad.stderr).unwrap();
+    assert!(err.contains("dB"), "{err}");
 }
 
 #[test]

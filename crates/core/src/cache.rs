@@ -58,7 +58,7 @@ use crate::characterizer::CharacterizerSettings;
 use apx_apps::Workload;
 use apx_cache::{CacheKey, KeyBuilder};
 use apx_cells::Library;
-use apx_operators::OperatorConfig;
+use apx_operators::{OperatorConfig, SiteMap};
 
 /// Version of the cached-report schema. Bump on any change to the
 /// serialized [`OperatorReport`] shape *or* to the semantics of a keyed
@@ -130,6 +130,33 @@ pub fn workload_cell_key(
         .push_str("workload", &workload.fingerprint())
         .push_u64("workload_seed", workload_seed)
         .push_json("config", config)
+        .finish()
+}
+
+/// The content-addressed key of one heterogeneous-assignment cell
+/// ([`HeteroCell`](crate::tune::HeteroCell)) — a workload run with a
+/// per-site [`SiteMap`] substituted in. Same recipe as
+/// [`workload_cell_key`], with the whole assignment (site order
+/// included) keyed in place of the single uniform config, so every
+/// candidate the `tune` search evaluates is content-addressed and a
+/// warm rerun of the same search is pure cache hits.
+#[must_use]
+pub fn hetero_cell_key(
+    lib: &Library,
+    settings: &CharacterizerSettings,
+    workload: &dyn Workload,
+    workload_seed: u64,
+    assignment: &SiteMap,
+) -> CacheKey {
+    KeyBuilder::new("apxperf-hetero-cell")
+        .push_u64("app_schema", u64::from(APP_SWEEP_SCHEMA_VERSION))
+        .push_u64("report_schema", u64::from(REPORT_SCHEMA_VERSION))
+        .push_str("library", &library_fingerprint(lib).hex())
+        .push_u64("sharding", apx_engine::sharding_fingerprint())
+        .push_json("settings", settings)
+        .push_str("workload", &workload.fingerprint())
+        .push_u64("workload_seed", workload_seed)
+        .push_json("assignment", assignment)
         .finish()
 }
 
@@ -331,6 +358,39 @@ mod tests {
         assert_eq!(cold, warm);
         assert_eq!(cache.stats().hits, 2);
         assert_eq!(cache.stats().writes, 2);
+    }
+
+    #[test]
+    fn hetero_cell_key_sees_the_whole_assignment() {
+        let lib = Library::fdsoi28();
+        let settings = quick_settings();
+        let workload = apx_apps::fft::FftWorkload::default();
+        let sites = workload.sites();
+        let config = OperatorConfig::AddTrunc { n: 16, q: 10 };
+        let uniform = SiteMap::uniform(sites, config);
+        let mut tweaked = uniform.clone();
+        tweaked.set(sites[0].tag, OperatorConfig::AddTrunc { n: 16, q: 11 });
+        let base = hetero_cell_key(&lib, &settings, &workload, 7, &uniform);
+        assert_eq!(
+            base,
+            hetero_cell_key(&lib, &settings, &workload, 7, &uniform),
+            "the key is stable"
+        );
+        assert_ne!(
+            base,
+            hetero_cell_key(&lib, &settings, &workload, 7, &tweaked),
+            "every per-site config is keyed"
+        );
+        assert_ne!(
+            base,
+            hetero_cell_key(&lib, &settings, &workload, 8, &uniform),
+            "the seed is keyed"
+        );
+        assert_ne!(
+            base,
+            workload_cell_key(&lib, &settings, &workload, 7, &config),
+            "hetero cells never collide with uniform workload cells"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! per cell ([`cache::workload_cell_key`]). On top of the sweeps,
 //! [`pareto`] computes strict-dominance quality–energy fronts, overlaying
 //! the `Sized` data-sizing baseline against the approximate families —
-//! the paper's headline comparison ([`pareto::workload_pareto`]).
+//! the paper's headline comparison ([`pareto::workload_pareto`]). And
+//! [`tune`] searches *heterogeneous* per-call-site assignments: the
+//! minimum-energy [`SiteMap`](apx_operators::SiteMap) meeting a parsed
+//! quality budget, seeded at the best uniform candidate
+//! ([`tune::tune`]).
 //!
 //! Every sampling loop is sharded and runs on an [`Engine`]
 //! (`APXPERF_THREADS`); per-shard RNG streams are derived from the master
@@ -74,6 +78,7 @@ mod characterizer;
 pub mod pareto;
 mod report;
 pub mod sweeps;
+pub mod tune;
 
 pub use apx_cache::Cache;
 pub use apx_engine::Engine;

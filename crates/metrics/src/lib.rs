@@ -10,6 +10,9 @@
 //!   workload reports, with constructors for each metric below (the one
 //!   scoring entry point of the workload layer) and a kind-free
 //!   exact-relative [`QualityScore::degradation`] accessor.
+//! * [`QualityBudget`] — a parsed bound on a quality score (`>=30dB`,
+//!   `<=1dB`, `>=95%`), with unit/metric checking — the constraint side
+//!   of the `apxperf tune` search.
 //! * [`psnr_db`] / [`snr_db`] — output quality for the FFT and FIR
 //!   experiments (Fig. 5).
 //! * [`mssim`] — Mean Structural Similarity (Wang et al., 2004) for the
@@ -39,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod error;
 mod mssim;
 mod signal;
 pub mod spectrum;
 
+pub use budget::QualityBudget;
 pub use error::{ErrorStats, PSD_CAPTURE_LEN};
 pub use mssim::{mssim, mssim_with_window, SSIM_C1, SSIM_C2};
 pub use signal::{psnr_db, psnr_db_from_mse, snr_db, success_rate, QualityScore};

@@ -5,9 +5,22 @@
 //! or sized fixed-point operators degrades the arithmetic exactly as the
 //! hardware would, while the operation counters feed the application-level
 //! energy model (eq. (1) of the paper).
+//!
+//! # Call-sites
+//!
+//! Every arithmetic call in a workload carries a stable *site tag*
+//! (`"fft.butterfly"`, `"jpeg.dct_row"`, …) through the `*_at` methods.
+//! The untagged [`ArithContext::add`]/[`ArithContext::mul`] delegate to
+//! the [`DEFAULT_SITE`], so uniform contexts behave exactly as before,
+//! while a [`HeteroCtx`] built from a [`SiteMap`] can route each site to
+//! its own operator configuration and report per-site [`SiteCounts`] for
+//! independent energy pricing.
 
 use crate::traits::{ApxOperator, OpClass};
 use serde::{Deserialize, Serialize};
+
+/// Site tag under which untagged operations are recorded.
+pub const DEFAULT_SITE: &str = "default";
 
 /// Counters of arithmetic operations executed through a context.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +37,143 @@ impl OpCounts {
     pub fn total(&self) -> u64 {
         self.adds + self.muls
     }
+}
+
+/// Per-call-site operation counters, in first-recorded order.
+///
+/// Workload runs are single-threaded within a sweep cell, so the insertion
+/// order — and therefore the serialized form — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCounts {
+    entries: Vec<(String, OpCounts)>,
+}
+
+impl SiteCounts {
+    /// An empty per-site ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        SiteCounts::default()
+    }
+
+    /// A ledger attributing `counts` wholesale to one `site`.
+    #[must_use]
+    pub fn single_site(site: &str, counts: OpCounts) -> Self {
+        SiteCounts {
+            entries: vec![(site.to_owned(), counts)],
+        }
+    }
+
+    fn entry(&mut self, site: &str) -> &mut OpCounts {
+        if let Some(idx) = self.entries.iter().position(|(tag, _)| tag == site) {
+            return &mut self.entries[idx].1;
+        }
+        self.entries.push((site.to_owned(), OpCounts::default()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    /// Records one addition/subtraction at `site`.
+    pub fn record_add(&mut self, site: &str) {
+        self.entry(site).adds += 1;
+    }
+
+    /// Records one multiplication at `site`.
+    pub fn record_mul(&mut self, site: &str) {
+        self.entry(site).muls += 1;
+    }
+
+    /// Counters recorded at `site` (zero if the site never fired).
+    #[must_use]
+    pub fn get(&self, site: &str) -> OpCounts {
+        self.entries
+            .iter()
+            .find(|(tag, _)| tag == site)
+            .map(|(_, counts)| *counts)
+            .unwrap_or_default()
+    }
+
+    /// Sum over every site — must equal the context's untyped
+    /// [`ArithContext::counts`] when all calls are tagged.
+    #[must_use]
+    pub fn total(&self) -> OpCounts {
+        let mut total = OpCounts::default();
+        for (_, counts) in &self.entries {
+            total.adds += counts.adds;
+            total.muls += counts.muls;
+        }
+        total
+    }
+
+    /// Iterates `(site, counts)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, OpCounts)> {
+        self.entries
+            .iter()
+            .map(|(tag, counts)| (tag.as_str(), *counts))
+    }
+
+    /// Number of distinct sites recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no site has recorded any operation.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets every recorded site.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Operation classes routed through a declared call-site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteOps {
+    /// Only additions/subtractions execute at the site.
+    Add,
+    /// Only multiplications execute at the site.
+    Mul,
+    /// Both classes execute at the site.
+    AddMul,
+}
+
+impl SiteOps {
+    /// Human-readable class label (`add`, `mul`, `add+mul`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SiteOps::Add => "add",
+            SiteOps::Mul => "mul",
+            SiteOps::AddMul => "add+mul",
+        }
+    }
+
+    /// Whether additions/subtractions may fire at the site.
+    #[must_use]
+    pub fn uses_add(&self) -> bool {
+        matches!(self, SiteOps::Add | SiteOps::AddMul)
+    }
+
+    /// Whether multiplications may fire at the site.
+    #[must_use]
+    pub fn uses_mul(&self) -> bool {
+        matches!(self, SiteOps::Mul | SiteOps::AddMul)
+    }
+}
+
+/// A call-site a workload declares in its registry entry: the stable tag
+/// its arithmetic is recorded under, the op classes that fire there, and
+/// a one-line description for `apxperf list --sites`.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteSpec {
+    /// Stable tag, conventionally `<workload>.<kernel>` (e.g. `fir.mac`).
+    pub tag: &'static str,
+    /// Operation classes executed at the site.
+    pub ops: SiteOps,
+    /// One-line description of the kernel the site covers.
+    pub summary: &'static str,
 }
 
 /// Abstract integer arithmetic with operation counting.
@@ -43,10 +193,35 @@ pub trait ArithContext {
         self.add(a, -b)
     }
 
+    /// `a + b` at the call-site `site`. Contexts without per-site routing
+    /// ignore the tag and fall through to [`ArithContext::add`].
+    fn add_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
+        let _ = site;
+        self.add(a, b)
+    }
+
+    /// `a * b` at the call-site `site`. Contexts without per-site routing
+    /// ignore the tag and fall through to [`ArithContext::mul`].
+    fn mul_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
+        let _ = site;
+        self.mul(a, b)
+    }
+
+    /// `a - b` at the call-site `site`, counted as one addition there.
+    fn sub_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
+        self.add_at(site, a, -b)
+    }
+
     /// Operations executed so far.
     fn counts(&self) -> OpCounts;
 
-    /// Resets the operation counters.
+    /// Per-site breakdown of [`ArithContext::counts`]. Contexts without
+    /// per-site routing report everything under [`DEFAULT_SITE`].
+    fn site_counts(&self) -> SiteCounts {
+        SiteCounts::single_site(DEFAULT_SITE, self.counts())
+    }
+
+    /// Resets the operation counters (per-site counters included).
     fn reset_counts(&mut self);
 }
 
@@ -86,20 +261,33 @@ impl ArithContext for ExactCtx {
 /// call-site clarity when the caller never reads the values).
 pub type CountingCtx = ExactCtx;
 
+fn checked_adder(op: Box<dyn ApxOperator>) -> Box<dyn ApxOperator> {
+    assert_eq!(op.op_class(), OpClass::Adder, "adder slot needs an adder");
+    op
+}
+
+fn checked_multiplier(op: Box<dyn ApxOperator>) -> Box<dyn ApxOperator> {
+    assert_eq!(
+        op.op_class(),
+        OpClass::Multiplier,
+        "multiplier slot needs a multiplier"
+    );
+    op
+}
+
 /// Arithmetic context executing through [`ApxOperator`] models.
 ///
 /// Either operator may be absent, in which case that operation is exact.
 /// The adder is applied at its operand width (`n` bits, wrapping) and its
 /// aligned output is sign-extended back; the multiplier likewise at
-/// `n×n → 2n`.
+/// `n×n → 2n`. The same operators serve every call-site; per-site traffic
+/// is still recorded and available through
+/// [`ArithContext::site_counts`].
 ///
 /// # Example
 /// ```
 /// use apx_operators::{ArithContext, OperatorCtx, OperatorConfig};
-/// let mut ctx = OperatorCtx::new(
-///     Some(OperatorConfig::AddTrunc { n: 16, q: 8 }.build()),
-///     None,
-/// );
+/// let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddTrunc { n: 16, q: 8 }.build());
 /// // low bits quantized away by the 8-bit adder
 /// assert_eq!(ctx.add(0x0101, 0x0101), 0x0200);
 /// assert_eq!(ctx.counts().adds, 1);
@@ -108,33 +296,66 @@ pub struct OperatorCtx {
     adder: Option<Box<dyn ApxOperator>>,
     multiplier: Option<Box<dyn ApxOperator>>,
     counts: OpCounts,
+    site_counts: SiteCounts,
 }
 
 impl OperatorCtx {
+    fn from_slots(
+        adder: Option<Box<dyn ApxOperator>>,
+        multiplier: Option<Box<dyn ApxOperator>>,
+    ) -> Self {
+        OperatorCtx {
+            adder: adder.map(checked_adder),
+            multiplier: multiplier.map(checked_multiplier),
+            counts: OpCounts::default(),
+            site_counts: SiteCounts::default(),
+        }
+    }
+
     /// Creates a context from optional adder and multiplier models.
+    ///
+    /// # Deprecation
+    /// The positional-`Option` form is kept only as a thin wrapper for
+    /// source compatibility; build contexts with
+    /// [`OperatorCtx::with_adder`], [`OperatorCtx::with_multiplier`],
+    /// [`OperatorCtx::exact`] or [`OperatorCtx::for_config`] instead.
     ///
     /// # Panics
     /// Panics if an operator of the wrong class is supplied.
     #[must_use]
+    #[deprecated(
+        since = "0.6.0",
+        note = "use OperatorCtx::with_adder / with_multiplier / exact / for_config"
+    )]
     pub fn new(
         adder: Option<Box<dyn ApxOperator>>,
         multiplier: Option<Box<dyn ApxOperator>>,
     ) -> Self {
-        if let Some(op) = &adder {
-            assert_eq!(op.op_class(), OpClass::Adder, "adder slot needs an adder");
-        }
-        if let Some(op) = &multiplier {
-            assert_eq!(
-                op.op_class(),
-                OpClass::Multiplier,
-                "multiplier slot needs a multiplier"
-            );
-        }
-        OperatorCtx {
-            adder,
-            multiplier,
-            counts: OpCounts::default(),
-        }
+        OperatorCtx::from_slots(adder, multiplier)
+    }
+
+    /// A fully exact context (both slots empty) that still counts.
+    #[must_use]
+    pub fn exact() -> Self {
+        OperatorCtx::from_slots(None, None)
+    }
+
+    /// Context with `adder` under test; multiplications stay exact.
+    ///
+    /// # Panics
+    /// Panics if `adder` is not an adder model.
+    #[must_use]
+    pub fn with_adder(adder: Box<dyn ApxOperator>) -> Self {
+        OperatorCtx::from_slots(Some(adder), None)
+    }
+
+    /// Context with `multiplier` under test; additions stay exact.
+    ///
+    /// # Panics
+    /// Panics if `multiplier` is not a multiplier model.
+    #[must_use]
+    pub fn with_multiplier(multiplier: Box<dyn ApxOperator>) -> Self {
+        OperatorCtx::from_slots(None, Some(multiplier))
     }
 
     /// Builds the context that puts `config` **under test**: an adder
@@ -151,8 +372,8 @@ impl OperatorCtx {
     #[must_use]
     pub fn for_config(config: &crate::OperatorConfig) -> Self {
         match config.op_class() {
-            OpClass::Adder => OperatorCtx::new(Some(config.build()), None),
-            OpClass::Multiplier => OperatorCtx::new(None, Some(config.build())),
+            OpClass::Adder => OperatorCtx::with_adder(config.build()),
+            OpClass::Multiplier => OperatorCtx::with_multiplier(config.build()),
         }
     }
 
@@ -171,14 +392,22 @@ impl OperatorCtx {
 
 impl ArithContext for OperatorCtx {
     fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.add_at(DEFAULT_SITE, a, b)
+    }
+    fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.mul_at(DEFAULT_SITE, a, b)
+    }
+    fn add_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
         self.counts.adds += 1;
+        self.site_counts.record_add(site);
         match &self.adder {
             Some(op) => op.eval_signed(a, b),
             None => a.wrapping_add(b),
         }
     }
-    fn mul(&mut self, a: i64, b: i64) -> i64 {
+    fn mul_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
         self.counts.muls += 1;
+        self.site_counts.record_mul(site);
         match &self.multiplier {
             Some(op) => op.eval_signed(a, b),
             None => a.wrapping_mul(b),
@@ -187,8 +416,180 @@ impl ArithContext for OperatorCtx {
     fn counts(&self) -> OpCounts {
         self.counts
     }
+    fn site_counts(&self) -> SiteCounts {
+        self.site_counts.clone()
+    }
     fn reset_counts(&mut self) {
         self.counts = OpCounts::default();
+        self.site_counts.clear();
+    }
+}
+
+/// An ordered map from call-site tag to the [`OperatorConfig`] assigned
+/// there — the heterogeneous-assignment half of the `tune` search space.
+///
+/// Entry order is preserved (and is the serialized order), so building a
+/// map in a fixed site order yields a deterministic cache key.
+///
+/// [`OperatorConfig`]: crate::OperatorConfig
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteMap {
+    entries: Vec<(String, crate::OperatorConfig)>,
+}
+
+impl SiteMap {
+    /// An empty map: every site stays exact.
+    #[must_use]
+    pub fn new() -> Self {
+        SiteMap::default()
+    }
+
+    /// A map assigning `config` to every one of `sites`.
+    #[must_use]
+    pub fn uniform(sites: &[SiteSpec], config: crate::OperatorConfig) -> Self {
+        let mut map = SiteMap::new();
+        for spec in sites {
+            map.set(spec.tag, config);
+        }
+        map
+    }
+
+    /// Assigns `config` to `site`, replacing any previous assignment.
+    pub fn set(&mut self, site: &str, config: crate::OperatorConfig) {
+        if let Some(idx) = self.entries.iter().position(|(tag, _)| tag == site) {
+            self.entries[idx].1 = config;
+        } else {
+            self.entries.push((site.to_owned(), config));
+        }
+    }
+
+    /// The configuration assigned to `site`, if any.
+    #[must_use]
+    pub fn get(&self, site: &str) -> Option<&crate::OperatorConfig> {
+        self.entries
+            .iter()
+            .find(|(tag, _)| tag == site)
+            .map(|(_, config)| config)
+    }
+
+    /// Iterates `(site, config)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &crate::OperatorConfig)> {
+        self.entries
+            .iter()
+            .map(|(tag, config)| (tag.as_str(), config))
+    }
+
+    /// Number of assigned sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no site is assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+struct SiteSlot {
+    adder: Option<Box<dyn ApxOperator>>,
+    multiplier: Option<Box<dyn ApxOperator>>,
+}
+
+/// Arithmetic context routing each call-site to its own operator.
+///
+/// Built from a [`SiteMap`]; each mapped site gets the
+/// [`OperatorCtx::for_config`] substitution rule applied *locally* (an
+/// adder config degrades that site's additions, its multiplications stay
+/// exact, and vice versa). Unmapped sites — and untagged calls, which
+/// arrive at [`DEFAULT_SITE`] — execute exactly. A map assigning the same
+/// configuration to every declared site is bit-for-bit equivalent to the
+/// uniform [`OperatorCtx::for_config`] context.
+///
+/// # Example
+/// ```
+/// use apx_operators::{ArithContext, HeteroCtx, OperatorConfig, SiteMap};
+/// let mut map = SiteMap::new();
+/// map.set("fir.mac", OperatorConfig::AddTrunc { n: 16, q: 8 });
+/// let mut ctx = HeteroCtx::new(&map);
+/// assert_eq!(ctx.add_at("fir.mac", 0x0101, 0x0101), 0x0200);
+/// assert_eq!(ctx.add_at("fir.tap", 1, 2), 3); // unmapped sites stay exact
+/// assert_eq!(ctx.site_counts().get("fir.mac").adds, 1);
+/// ```
+pub struct HeteroCtx {
+    slots: Vec<(String, SiteSlot)>,
+    counts: OpCounts,
+    site_counts: SiteCounts,
+}
+
+impl HeteroCtx {
+    /// Builds a context routing each site of `map` to its configuration.
+    #[must_use]
+    pub fn new(map: &SiteMap) -> Self {
+        let slots = map
+            .iter()
+            .map(|(site, config)| {
+                let slot = match config.op_class() {
+                    OpClass::Adder => SiteSlot {
+                        adder: Some(checked_adder(config.build())),
+                        multiplier: None,
+                    },
+                    OpClass::Multiplier => SiteSlot {
+                        adder: None,
+                        multiplier: Some(checked_multiplier(config.build())),
+                    },
+                };
+                (site.to_owned(), slot)
+            })
+            .collect();
+        HeteroCtx {
+            slots,
+            counts: OpCounts::default(),
+            site_counts: SiteCounts::default(),
+        }
+    }
+
+    fn slot(&self, site: &str) -> Option<&SiteSlot> {
+        self.slots
+            .iter()
+            .find(|(tag, _)| tag == site)
+            .map(|(_, slot)| slot)
+    }
+}
+
+impl ArithContext for HeteroCtx {
+    fn add(&mut self, a: i64, b: i64) -> i64 {
+        self.add_at(DEFAULT_SITE, a, b)
+    }
+    fn mul(&mut self, a: i64, b: i64) -> i64 {
+        self.mul_at(DEFAULT_SITE, a, b)
+    }
+    fn add_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
+        self.counts.adds += 1;
+        self.site_counts.record_add(site);
+        match self.slot(site).and_then(|slot| slot.adder.as_deref()) {
+            Some(op) => op.eval_signed(a, b),
+            None => a.wrapping_add(b),
+        }
+    }
+    fn mul_at(&mut self, site: &'static str, a: i64, b: i64) -> i64 {
+        self.counts.muls += 1;
+        self.site_counts.record_mul(site);
+        match self.slot(site).and_then(|slot| slot.multiplier.as_deref()) {
+            Some(op) => op.eval_signed(a, b),
+            None => a.wrapping_mul(b),
+        }
+    }
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+    fn site_counts(&self) -> SiteCounts {
+        self.site_counts.clone()
+    }
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+        self.site_counts.clear();
     }
 }
 
@@ -204,16 +605,15 @@ mod tests {
         assert_eq!(ctx.mul(4, -5), -20);
         assert_eq!(ctx.sub(10, 3), 7);
         assert_eq!(ctx.counts(), OpCounts { adds: 2, muls: 1 });
+        // contexts without routing report everything at the default site
+        assert_eq!(ctx.site_counts().get(DEFAULT_SITE), ctx.counts());
         ctx.reset_counts();
         assert_eq!(ctx.counts().total(), 0);
     }
 
     #[test]
     fn operator_ctx_with_exact_models_matches_exact_ctx() {
-        let mut ctx = OperatorCtx::new(
-            Some(OperatorConfig::AddExact { n: 16 }.build()),
-            Some(OperatorConfig::MulExact { n: 16 }.build()),
-        );
+        let mut ctx = OperatorCtx::with_adder(OperatorConfig::AddExact { n: 16 }.build());
         // stay within 16-bit operand range
         assert_eq!(ctx.add(1000, -250), 750);
         assert_eq!(ctx.mul(-123, 45), -123 * 45);
@@ -221,10 +621,8 @@ mod tests {
 
     #[test]
     fn truncated_multiplier_quantizes_products() {
-        let mut ctx = OperatorCtx::new(
-            None,
-            Some(OperatorConfig::MulTrunc { n: 16, q: 16 }.build()),
-        );
+        let mut ctx =
+            OperatorCtx::with_multiplier(OperatorConfig::MulTrunc { n: 16, q: 16 }.build());
         let p = ctx.mul(0x1234, 0x0321);
         let exact = 0x1234i64 * 0x0321;
         assert_eq!(p, exact & !0xFFFF, "low 16 product bits truncated");
@@ -233,6 +631,97 @@ mod tests {
     #[test]
     #[should_panic(expected = "adder slot needs an adder")]
     fn wrong_class_is_rejected() {
-        let _ = OperatorCtx::new(Some(OperatorConfig::MulExact { n: 8 }.build()), None);
+        let _ = OperatorCtx::with_adder(OperatorConfig::MulExact { n: 8 }.build());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_constructor_still_works() {
+        let mut ctx =
+            OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q: 8 }.build()), None);
+        assert_eq!(ctx.add(0x0101, 0x0101), 0x0200);
+        assert_eq!(ctx.counts().adds, 1);
+    }
+
+    #[test]
+    fn operator_ctx_records_per_site_traffic() {
+        let mut ctx = OperatorCtx::for_config(&OperatorConfig::AddTrunc { n: 16, q: 8 });
+        ctx.add_at("w.alpha", 1, 2);
+        ctx.add_at("w.alpha", 3, 4);
+        ctx.sub_at("w.beta", 9, 4);
+        ctx.mul_at("w.beta", 2, 3);
+        ctx.mul(5, 6); // untagged — lands at the default site
+        let sites = ctx.site_counts();
+        assert_eq!(sites.get("w.alpha"), OpCounts { adds: 2, muls: 0 });
+        assert_eq!(sites.get("w.beta"), OpCounts { adds: 1, muls: 1 });
+        assert_eq!(sites.get(DEFAULT_SITE), OpCounts { adds: 0, muls: 1 });
+        assert_eq!(sites.total(), ctx.counts());
+        ctx.reset_counts();
+        assert!(ctx.site_counts().is_empty());
+    }
+
+    #[test]
+    fn site_map_replaces_and_preserves_order() {
+        let mut map = SiteMap::new();
+        map.set("a", OperatorConfig::AddTrunc { n: 16, q: 8 });
+        map.set("b", OperatorConfig::Aca { n: 16, p: 8 });
+        map.set("a", OperatorConfig::AddTrunc { n: 16, q: 12 });
+        assert_eq!(map.len(), 2);
+        assert_eq!(
+            map.get("a"),
+            Some(&OperatorConfig::AddTrunc { n: 16, q: 12 })
+        );
+        let order: Vec<&str> = map.iter().map(|(site, _)| site).collect();
+        assert_eq!(order, ["a", "b"]);
+    }
+
+    #[test]
+    fn hetero_ctx_routes_per_site_and_leaves_unmapped_sites_exact() {
+        let mut map = SiteMap::new();
+        map.set("w.coarse", OperatorConfig::AddTrunc { n: 16, q: 8 });
+        map.set("w.prod", OperatorConfig::MulTrunc { n: 16, q: 16 });
+        let mut ctx = HeteroCtx::new(&map);
+        // mapped adder site quantizes
+        assert_eq!(ctx.add_at("w.coarse", 0x0101, 0x0101), 0x0200);
+        // an adder-config site leaves its multiplications exact
+        assert_eq!(ctx.mul_at("w.coarse", 7, 6), 42);
+        // mapped multiplier site truncates the product
+        let exact = 0x1234i64 * 0x0321;
+        assert_eq!(ctx.mul_at("w.prod", 0x1234, 0x0321), exact & !0xFFFF);
+        // unmapped site and untagged calls stay exact
+        assert_eq!(ctx.add_at("w.other", 0x0101, 0x0101), 0x0202);
+        assert_eq!(ctx.add(0x0101, 0x0101), 0x0202);
+        assert_eq!(ctx.counts(), OpCounts { adds: 3, muls: 2 });
+        assert_eq!(ctx.site_counts().total(), ctx.counts());
+    }
+
+    #[test]
+    fn uniform_site_map_matches_uniform_operator_ctx() {
+        const SITES: &[SiteSpec] = &[
+            SiteSpec {
+                tag: "w.a",
+                ops: SiteOps::AddMul,
+                summary: "test site",
+            },
+            SiteSpec {
+                tag: "w.b",
+                ops: SiteOps::Add,
+                summary: "test site",
+            },
+        ];
+        let config = OperatorConfig::AddTrunc { n: 16, q: 9 };
+        let mut hetero = HeteroCtx::new(&SiteMap::uniform(SITES, config));
+        let mut uniform = OperatorCtx::for_config(&config);
+        for (a, b) in [(0x0101, 0x0303), (-77, 1234), (0x7FFF, 1)] {
+            assert_eq!(
+                hetero.add_at("w.a", a, b),
+                uniform.add_at("w.a", a, b),
+                "adds must agree at ({a},{b})"
+            );
+            assert_eq!(hetero.mul_at("w.a", a, b), uniform.mul_at("w.a", a, b));
+            assert_eq!(hetero.sub_at("w.b", a, b), uniform.sub_at("w.b", a, b));
+        }
+        assert_eq!(hetero.counts(), uniform.counts());
+        assert_eq!(hetero.site_counts(), uniform.site_counts());
     }
 }

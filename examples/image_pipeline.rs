@@ -28,7 +28,10 @@ fn main() {
     ];
     println!("JPEG q90, 128x128 synthetic photo:");
     for (name, config) in contexts {
-        let mut ctx = OperatorCtx::new(config.map(|c| c.build()), None);
+        let mut ctx = match config {
+            Some(c) => OperatorCtx::with_adder(c.build()),
+            None => OperatorCtx::exact(),
+        };
         let (result, score) = jpeg.run(&mut ctx);
         let path = format!("target/jpeg_{}.pgm", name.replace(['(', ')', ','], "_"));
         std::fs::write(&path, result.decoded.to_pgm()).expect("write PGM");
@@ -49,7 +52,10 @@ fn main() {
         ),
         ("ETAIV(16,4)", Some(OperatorConfig::EtaIv { n: 16, x: 4 })),
     ] {
-        let mut ctx = OperatorCtx::new(config.map(|c| c.build()), None);
+        let mut ctx = match config {
+            Some(c) => OperatorCtx::with_adder(c.build()),
+            None => OperatorCtx::exact(),
+        };
         let (result, score) = mc.run(&mut ctx);
         println!(
             "  {name:<12} MSSIM {:.4}  ({} adds, {} muls)",
