@@ -45,6 +45,54 @@ fn bench_eval(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched-model throughput: one `eval_batch` call per iteration over a
+/// 4096-sample batch (the engine's default in-shard width). Divide the
+/// reported time by 4096 for per-sample cost; the ratio against the
+/// matching `eval_u` entry is the speedup of the accelerated kernels
+/// over the per-sample scalar path.
+fn bench_eval_batch(c: &mut Criterion) {
+    const BATCH: usize = 4096;
+    let ops: Vec<(&str, Box<dyn ApxOperator>)> = vec![
+        ("aca_16_4", OperatorConfig::Aca { n: 16, p: 4 }.build()),
+        (
+            "mul_trunc_16_16",
+            OperatorConfig::MulTrunc { n: 16, q: 16 }.build(),
+        ),
+        ("mul_exact_16", OperatorConfig::MulExact { n: 16 }.build()),
+        ("booth_16", OperatorConfig::MulBooth { n: 16 }.build()),
+        ("aam_16", OperatorConfig::Aam { n: 16 }.build()),
+        ("abm_16", OperatorConfig::Abm { n: 16 }.build()),
+        (
+            "mul_sized_16_10",
+            OperatorConfig::MulSized {
+                n: 16,
+                w: 10,
+                mode: apx_operators::QuantMode::Trunc,
+            }
+            .build(),
+        ),
+    ];
+    let mut group = c.benchmark_group("eval_batch_4096");
+    for (name, op) in &ops {
+        let mask = apx_operators::mask_u(op.input_bits());
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        };
+        let a: Vec<u64> = (0..BATCH).map(|_| next() & mask).collect();
+        let bv: Vec<u64> = (0..BATCH).map(|_| next() & mask).collect();
+        let mut out = vec![0u64; BATCH];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                op.eval_batch(black_box(&a), black_box(&bv), &mut out);
+                black_box(out[BATCH - 1])
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_netlist_generation(c: &mut Criterion) {
     c.bench_function("netlist_gen_mult16", |b| {
         let op = OperatorConfig::MulTrunc { n: 16, q: 16 }.build();
@@ -52,5 +100,10 @@ fn bench_netlist_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_eval, bench_netlist_generation);
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_eval_batch,
+    bench_netlist_generation
+);
 criterion_main!(benches);

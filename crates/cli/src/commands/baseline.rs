@@ -179,8 +179,8 @@ fn record(stages: &mut Vec<StageRecord>, stage: &str, samples: u64, start: Insta
 /// `apxperf bench-baseline` — a reduced-sample characterization sweep
 /// that times every pipeline stage and emits `BENCH_baseline.json`
 /// (samples/sec per stage), so CI can record the performance trajectory
-/// PR over PR. Always runs **uncached** — it measures compute, not
-/// lookup.
+/// PR over PR — and fail the `perf-gate` job when a stage regresses.
+/// Always runs **uncached** — it measures compute, not lookup.
 pub(super) fn bench_baseline(args: &Args) -> Result<(), String> {
     let lib = Library::fdsoi28();
     // reduced-sample defaults (this is a trend recorder, not a repro
@@ -197,8 +197,10 @@ pub(super) fn bench_baseline(args: &Args) -> Result<(), String> {
     let mut stages = Vec::new();
     let run_start = Instant::now();
 
-    // 1. error sampling over a spread of operator families
-    let error_configs = [
+    // 1a/1b. error sampling, split by operator class so the perf gate
+    // sees adder-path and multiplier-path throughput separately (the
+    // multiplier kernels are the ones with order-of-magnitude headroom)
+    let adder_configs = [
         OperatorConfig::AddTrunc { n: 16, q: 10 },
         OperatorConfig::Aca { n: 16, p: 8 },
         OperatorConfig::EtaIv { n: 16, x: 4 },
@@ -207,27 +209,35 @@ pub(super) fn bench_baseline(args: &Args) -> Result<(), String> {
             m: 6,
             fa_type: apx_operators::FaType::Three,
         },
+    ];
+    let mult_configs = [
         OperatorConfig::MulTrunc { n: 16, q: 16 },
         OperatorConfig::Abm { n: 16 },
     ];
     let chz = Characterizer::new(&lib)
         .with_settings(settings)
         .with_engine(engine.clone());
-    let ops: Vec<Box<dyn ApxOperator>> = error_configs.iter().map(OperatorConfig::build).collect();
-    let start = Instant::now();
-    let mut drawn = 0u64;
-    for op in &ops {
-        drawn += chz.error_stats(op.as_ref()).samples();
+    for (stage, configs) in [
+        ("error_sampling_adders", &adder_configs[..]),
+        ("error_sampling_multipliers", &mult_configs[..]),
+    ] {
+        let ops: Vec<Box<dyn ApxOperator>> = configs.iter().map(OperatorConfig::build).collect();
+        let start = Instant::now();
+        let mut drawn = 0u64;
+        for op in &ops {
+            drawn += chz.error_stats(op.as_ref()).samples();
+        }
+        record(&mut stages, stage, drawn, start);
     }
-    record(&mut stages, "error_sampling", drawn, start);
 
-    // 2. random equivalence verification on a 16-bit ACA netlist
+    // 2. random equivalence verification on a 16-bit ACA netlist, with
+    // the batched expected side the characterizer itself uses
     let op = OperatorConfig::Aca { n: 16, p: 8 }.build();
     let nl = op.netlist();
     let verify_samples = 10 * settings.error_samples / 4;
     let start = Instant::now();
-    verify::verify_random2_with(&nl, verify_samples, settings.seed, &engine, |a, b| {
-        op.eval_u(a, b)
+    verify::verify_random2_batch_with(&nl, verify_samples, settings.seed, &engine, |a, b, out| {
+        op.eval_batch(a, b, out);
     })
     .map_err(|e| format!("ACA netlist must match its functional model: {e:?}"))?;
     record(&mut stages, "verification", verify_samples as u64, start);
@@ -264,7 +274,7 @@ pub(super) fn bench_baseline(args: &Args) -> Result<(), String> {
     }
 
     let baseline = Baseline {
-        schema: "apxperf-bench-baseline/v1".to_owned(),
+        schema: "apxperf-bench-baseline/v2".to_owned(),
         threads: engine.threads(),
         error_samples: settings.error_samples,
         power_vectors: settings.power_vectors,
@@ -292,8 +302,8 @@ pub(super) fn bench_baseline(args: &Args) -> Result<(), String> {
     print!(
         "{}",
         render(
-            crate::args::Format::Tty,
-            &["stage", "samples", "seconds", "samples/sec"],
+            args.format,
+            &["stage", "samples", "seconds", "samples_per_sec"],
             &rows,
         )
     );

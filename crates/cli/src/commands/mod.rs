@@ -240,7 +240,7 @@ pub const COMMANDS: &[Command] = &[
             "Timed sweep -> BENCH_baseline.json (defaults reduced: 20000 samples, 300 vectors)",
         positional: "",
         max_positional: 0,
-        flags: &["samples", "vectors", "seed", "threads", "out"],
+        flags: &["samples", "vectors", "seed", "threads", "out", "format"],
         run: baseline::bench_baseline,
     },
     Command {

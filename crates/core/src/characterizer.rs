@@ -13,10 +13,6 @@ use serde::{Deserialize, Serialize};
 /// Stream id mixed into [`shard_seed`] for the error-sampling draws.
 const STREAM_ERROR: u64 = 0xE55_0E57;
 
-/// Samples per [`ApxOperator::eval_batch`] call inside one shard — a
-/// multiple of the 64-lane bitslice width, small enough to stay in cache.
-const BATCH: usize = 1024;
-
 /// Tunables of the characterization pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CharacterizerSettings {
@@ -65,6 +61,7 @@ pub struct Characterizer<'a> {
     settings: CharacterizerSettings,
     engine: Engine,
     cache: Cache,
+    batch: usize,
 }
 
 impl<'a> Characterizer<'a> {
@@ -79,6 +76,7 @@ impl<'a> Characterizer<'a> {
             settings: CharacterizerSettings::default(),
             engine: Engine::from_env(),
             cache: Cache::disabled(),
+            batch: apx_engine::EVAL_BATCH,
         }
     }
 
@@ -94,6 +92,17 @@ impl<'a> Characterizer<'a> {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the samples-per-`eval_batch`-call width inside one shard
+    /// (default [`apx_engine::EVAL_BATCH`], clamped to ≥ 1). Like the
+    /// thread count this is a **pure wall-clock knob**: each shard draws
+    /// its operands sequentially regardless of how they are grouped into
+    /// batches, so no reported number ever depends on it.
+    #[must_use]
+    pub fn with_eval_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
         self
     }
 
@@ -165,14 +174,16 @@ impl<'a> Characterizer<'a> {
         let nl = op.netlist();
         let total_bits = 2 * op.input_bits();
         let result = if total_bits <= self.settings.exhaustive_up_to_bits {
-            verify::verify_exhaustive2_with(&nl, &self.engine, |a, b| op.eval_u(a, b))
+            verify::verify_exhaustive2_batch_with(&nl, &self.engine, |a, b, out| {
+                op.eval_batch(a, b, out);
+            })
         } else {
-            verify::verify_random2_with(
+            verify::verify_random2_batch_with(
                 &nl,
                 self.settings.verify_samples,
                 self.settings.seed,
                 &self.engine,
-                |a, b| op.eval_u(a, b),
+                |a, b, out| op.eval_batch(a, b, out),
             )
         };
         result.is_ok()
@@ -189,13 +200,14 @@ impl<'a> Characterizer<'a> {
             STREAM_ERROR,
             index as u64,
         ));
-        let mut av = vec![0u64; BATCH];
-        let mut bv = vec![0u64; BATCH];
-        let mut refs = vec![0u64; BATCH];
-        let mut outs = vec![0u64; BATCH];
+        let batch = self.batch;
+        let mut av = vec![0u64; batch];
+        let mut bv = vec![0u64; batch];
+        let mut refs = vec![0u64; batch];
+        let mut outs = vec![0u64; batch];
         let mut remaining = samples;
         while remaining > 0 {
-            let len = remaining.min(BATCH);
+            let len = remaining.min(batch);
             for (a, b) in av[..len].iter_mut().zip(&mut bv[..len]) {
                 *a = rng.random::<u64>() & mask;
                 *b = rng.random::<u64>() & mask;

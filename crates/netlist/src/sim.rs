@@ -132,6 +132,17 @@ impl<'a> Sim64<'a> {
             .nl
             .input_bus(bus)
             .unwrap_or_else(|| panic!("no input bus {bus}"));
+        self.set_bus_lanes_at(nets, values);
+    }
+
+    /// Pre-resolved form of [`Sim64::set_bus_lanes`]: takes the bus's net
+    /// slice (from [`Netlist::input_bus`]) directly. Hot loops that sweep
+    /// thousands of 64-lane windows over the same netlist resolve each
+    /// bus name once up front instead of once per window.
+    ///
+    /// # Panics
+    /// Panics if more than 64 values are supplied.
+    pub fn set_bus_lanes_at(&mut self, nets: &[NetId], values: &[u64]) {
         let mut words = std::mem::take(&mut self.pack_buf);
         pack_operand_into(nets.len(), values, &mut words);
         for (net, word) in nets.iter().zip(&words) {
@@ -185,11 +196,21 @@ impl<'a> Sim64<'a> {
     /// Panics if the bus does not exist or more than 64 lanes are
     /// requested.
     pub fn read_bus_lanes_into(&self, bus: &str, lanes: usize, values: &mut Vec<u64>) {
-        assert!(lanes <= 64, "at most 64 lanes");
         let nets = self
             .nl
             .output_bus(bus)
             .unwrap_or_else(|| panic!("no output bus {bus}"));
+        self.read_bus_lanes_at_into(nets, lanes, values);
+    }
+
+    /// Pre-resolved form of [`Sim64::read_bus_lanes_into`]: takes the
+    /// bus's net slice (from [`Netlist::output_bus`]) directly (see
+    /// [`Sim64::set_bus_lanes_at`]).
+    ///
+    /// # Panics
+    /// Panics if more than 64 lanes are requested.
+    pub fn read_bus_lanes_at_into(&self, nets: &[NetId], lanes: usize, values: &mut Vec<u64>) {
+        assert!(lanes <= 64, "at most 64 lanes");
         values.clear();
         values.resize(lanes, 0);
         for (bit, net) in nets.iter().enumerate() {

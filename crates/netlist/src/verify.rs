@@ -12,7 +12,7 @@
 //! reported from the lowest-indexed failing shard — so the verdict (and
 //! the reported counterexample) is identical for any worker count.
 
-use crate::ir::Netlist;
+use crate::ir::{NetId, Netlist};
 use crate::sim::Sim64;
 use apx_engine::{plan_shards_sized, shard_seed, Engine};
 use std::error::Error;
@@ -63,6 +63,12 @@ fn bus_widths(nl: &Netlist) -> Vec<(String, usize)> {
 struct BatchChecker<'n> {
     nl: &'n Netlist,
     sim: Sim64<'n>,
+    /// Pre-resolved net slice per input bus, in declaration order —
+    /// resolved once here so the per-window loop never repeats the
+    /// by-name bus lookups.
+    input_nets: Vec<&'n [NetId]>,
+    /// Pre-resolved (net slice, concat shift) per output bus.
+    output_nets: Vec<(&'n [NetId], usize)>,
     /// Per-lane concatenated netlist outputs of the current batch.
     got: Vec<u64>,
     /// Scratch for one output bus worth of lane values.
@@ -77,9 +83,21 @@ impl<'n> BatchChecker<'n> {
     fn new(nl: &'n Netlist) -> Self {
         let total: usize = nl.outputs().iter().map(|(_, b)| b.len()).sum();
         assert!(total <= 64, "concatenated outputs exceed 64 bits");
+        let mut shift = 0;
+        let output_nets = nl
+            .outputs()
+            .iter()
+            .map(|(_, bus)| {
+                let entry = (bus.as_slice(), shift);
+                shift += bus.len();
+                entry
+            })
+            .collect();
         BatchChecker {
             nl,
             sim: Sim64::new(nl),
+            input_nets: nl.inputs().iter().map(|(_, bus)| bus.as_slice()).collect(),
+            output_nets,
             got: Vec::new(),
             vals: Vec::new(),
             operands: vec![Vec::new(); nl.inputs().len()],
@@ -91,19 +109,17 @@ impl<'n> BatchChecker<'n> {
     /// concatenated outputs against the loaded `expected` values.
     fn check(&mut self) -> Result<(), VerifyMismatchError> {
         let lanes = self.operands.first().map_or(0, Vec::len);
-        for ((name, _), vals) in self.nl.inputs().iter().zip(&self.operands) {
-            self.sim.set_bus_lanes(name, vals);
+        for (nets, vals) in self.input_nets.iter().zip(&self.operands) {
+            self.sim.set_bus_lanes_at(nets, vals);
         }
         self.sim.run();
         self.got.clear();
         self.got.resize(lanes, 0);
-        let mut shift = 0;
-        for (name, bus) in self.nl.outputs() {
-            self.sim.read_bus_lanes_into(name, lanes, &mut self.vals);
+        for &(nets, shift) in &self.output_nets {
+            self.sim.read_bus_lanes_at_into(nets, lanes, &mut self.vals);
             for (a, v) in self.got.iter_mut().zip(&self.vals) {
                 *a |= v << shift;
             }
-            shift += bus.len();
         }
         for (lane, (&g, &e)) in self.got.iter().zip(&self.expected).enumerate() {
             if g != e {
@@ -248,13 +264,92 @@ pub fn verify_exhaustive2_with(
     engine: &Engine,
     f: impl Fn(u64, u64) -> u64 + Sync,
 ) -> Result<(), VerifyMismatchError> {
+    verify_exhaustive2_batch_with(nl, engine, |av, bv, out| {
+        for ((&a, &b), o) in av.iter().zip(bv).zip(out.iter_mut()) {
+            *o = f(a, b);
+        }
+    })
+}
+
+/// Exhaustively verifies the two-operand vector range `[start, end)` of
+/// concatenated words on a reused simulator, with the expected side
+/// filled a whole 64-lane batch at a time — one shard of
+/// [`verify_exhaustive2_batch_with`].
+fn verify_exhaustive2_range(
+    nl: &Netlist,
+    widths: &[(String, usize)],
+    start: u64,
+    end: u64,
+    f: impl Fn(&[u64], &[u64], &mut [u64]),
+) -> Result<(), VerifyMismatchError> {
+    let mut checker = BatchChecker::new(nl);
+    let mut v = start;
+    while v < end {
+        let lanes = (end - v).min(64);
+        let mut shift = 0;
+        for (operand, (_, w)) in checker.operands.iter_mut().zip(widths) {
+            let mask = if *w == 64 { !0u64 } else { (1u64 << w) - 1 };
+            operand.clear();
+            operand.extend((v..v + lanes).map(|x| (x >> shift) & mask));
+            shift += w;
+        }
+        checker.expected.clear();
+        checker.expected.resize(lanes as usize, 0);
+        f(
+            &checker.operands[0],
+            &checker.operands[1],
+            &mut checker.expected,
+        );
+        checker.check()?;
+        v += lanes;
+    }
+    Ok(())
+}
+
+/// Batched form of [`verify_exhaustive2_with`]: the reference closure
+/// fills a whole batch of expected outputs (`out[i] = expected(a[i],
+/// b[i])`) instead of being called per lane, so a bitsliced
+/// `eval_batch` override accelerates the expected side of the
+/// equivalence check exactly as it does the error-sampling loop. Shard
+/// plan, vector order and reported counterexample are identical to the
+/// per-lane form.
+///
+/// # Errors
+/// Returns the mismatch of the lowest failing range.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses, or the
+/// total input width exceeds 24 bits.
+pub fn verify_exhaustive2_batch_with(
+    nl: &Netlist,
+    engine: &Engine,
+    f: impl Fn(&[u64], &[u64], &mut [u64]) + Sync,
+) -> Result<(), VerifyMismatchError> {
     let widths = bus_widths(nl);
     assert_eq!(widths.len(), 2, "expected exactly two input buses");
-    let wa = widths[0].1;
-    verify_exhaustive1_with(nl, engine, |v| {
-        let mask_a = if wa == 64 { !0u64 } else { (1u64 << wa) - 1 };
-        f(v & mask_a, v >> wa)
-    })
+    let total: usize = widths.iter().map(|(_, w)| w).sum();
+    assert!(total <= 24, "exhaustive verification over {total} bits");
+    let count = 1usize << total;
+    let shards = plan_shards_sized(count, VERIFY_SHARD);
+    let min_failed = AtomicUsize::new(usize::MAX);
+    let results = engine.map_indexed(shards.len(), |i| {
+        if i > min_failed.load(Ordering::Relaxed) {
+            return Ok(()); // outranked by a lower failing shard already
+        }
+        let shard = shards[i];
+        let result = verify_exhaustive2_range(
+            nl,
+            &widths,
+            shard.start as u64,
+            (shard.start + shard.len) as u64,
+            &f,
+        );
+        if result.is_err() {
+            min_failed.fetch_min(i, Ordering::Relaxed);
+        }
+        result
+    });
+    results.into_iter().find(Result::is_err).unwrap_or(Ok(()))
 }
 
 /// Verifies one shard of random vectors on a reused simulator with its
@@ -264,7 +359,7 @@ fn verify_random2_shard(
     samples: usize,
     seed: u64,
     widths: &[(String, usize)],
-    f: impl Fn(u64, u64) -> u64,
+    f: impl Fn(&[u64], &[u64], &mut [u64]),
 ) -> Result<(), VerifyMismatchError> {
     use rand::{RngExt, SeedableRng};
     let (wa, wb) = (widths[0].1, widths[1].1);
@@ -279,11 +374,12 @@ fn verify_random2_shard(
             operand.extend((0..lanes).map(|_| rng.random::<u64>() & mask(w)));
         }
         checker.expected.clear();
-        for lane in 0..lanes {
-            checker
-                .expected
-                .push(f(checker.operands[0][lane], checker.operands[1][lane]));
-        }
+        checker.expected.resize(lanes, 0);
+        f(
+            &checker.operands[0],
+            &checker.operands[1],
+            &mut checker.expected,
+        );
         checker.check()?;
         done += lanes;
     }
@@ -326,6 +422,30 @@ pub fn verify_random2_with(
     seed: u64,
     engine: &Engine,
     f: impl Fn(u64, u64) -> u64 + Sync,
+) -> Result<(), VerifyMismatchError> {
+    verify_random2_batch_with(nl, samples, seed, engine, |av, bv, out| {
+        for ((&a, &b), o) in av.iter().zip(bv).zip(out.iter_mut()) {
+            *o = f(a, b);
+        }
+    })
+}
+
+/// Batched form of [`verify_random2_with`]: the reference closure fills
+/// a whole 64-lane batch of expected outputs at once (see
+/// [`verify_exhaustive2_batch_with`]). Shard plan, RNG streams and the
+/// reported counterexample are identical to the per-lane form.
+///
+/// # Errors
+/// Returns the mismatch of the lowest failing shard.
+///
+/// # Panics
+/// Panics if the netlist does not have exactly two input buses.
+pub fn verify_random2_batch_with(
+    nl: &Netlist,
+    samples: usize,
+    seed: u64,
+    engine: &Engine,
+    f: impl Fn(&[u64], &[u64], &mut [u64]) + Sync,
 ) -> Result<(), VerifyMismatchError> {
     let widths = bus_widths(nl);
     assert_eq!(widths.len(), 2, "expected exactly two input buses");
@@ -387,6 +507,35 @@ mod tests {
     fn random_verification_matches_exhaustive_result() {
         let nl = adder(16);
         verify_random2(&nl, 5_000, 7, |a, b| (a + b) & 0x1_FFFF).unwrap();
+    }
+
+    #[test]
+    fn batched_reference_forms_match_the_per_lane_forms() {
+        let nl = adder(8);
+        let good = |a: u64, b: u64| (a + b) & 0x1FF;
+        let bad = |a: u64, b: u64| (a + b + u64::from(a == 3 && b == 5)) & 0x1FF;
+        let bad_often = |a: u64, b: u64| (a + b + u64::from(a == 3)) & 0x1FF;
+        fn batched(f: impl Fn(u64, u64) -> u64) -> impl Fn(&[u64], &[u64], &mut [u64]) {
+            move |av, bv, out| {
+                for ((&a, &b), o) in av.iter().zip(bv).zip(out.iter_mut()) {
+                    *o = f(a, b);
+                }
+            }
+        }
+        for threads in [1, 4] {
+            let engine = Engine::new(threads);
+            verify_exhaustive2_batch_with(&nl, &engine, batched(good)).unwrap();
+            // same counterexample as the serial per-lane sweep
+            assert_eq!(
+                verify_exhaustive2_batch_with(&nl, &engine, batched(bad)).unwrap_err(),
+                verify_exhaustive2(&nl, bad).unwrap_err()
+            );
+            verify_random2_batch_with(&nl, 40_000, 9, &engine, batched(good)).unwrap();
+            assert_eq!(
+                verify_random2_batch_with(&nl, 50_000, 9, &engine, batched(bad_often)).unwrap_err(),
+                verify_random2(&nl, 50_000, 9, bad_often).unwrap_err()
+            );
+        }
     }
 
     #[test]

@@ -56,6 +56,21 @@ impl ApxOperator for AddExact {
     fn eval_u(&self, a: u64, b: u64) -> u64 {
         a.wrapping_add(b) & mask_u(self.n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Already O(1) word ops per sample; the override only hoists the
+        // mask and skips the per-sample dynamic dispatch of the default.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let m = mask_u(self.n);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = ai.wrapping_add(bi) & m;
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let mut b = NetlistBuilder::new(self.name());
         let av = b.input_bus("a", self.n as usize);
@@ -119,6 +134,20 @@ impl ApxOperator for AddTrunc {
         let s = self.n - self.q;
         ((a >> s).wrapping_add(b >> s)) & mask_u(self.q)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let s = self.n - self.q;
+        let m = mask_u(self.q);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = (ai >> s).wrapping_add(bi >> s) & m;
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let s = (self.n - self.q) as usize;
         let mut b = NetlistBuilder::new(self.name());
@@ -178,6 +207,22 @@ impl ApxOperator for AddRound {
         let ra = (a >> s).wrapping_add(bit(a, s - 1));
         let rb = (b >> s).wrapping_add(bit(b, s - 1));
         ra.wrapping_add(rb) & mask_u(self.q)
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let s = self.n - self.q;
+        let m = mask_u(self.q);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            let ra = (ai >> s).wrapping_add(bit(ai, s - 1));
+            let rb = (bi >> s).wrapping_add(bit(bi, s - 1));
+            *o = ra.wrapping_add(rb) & m;
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let s = (self.n - self.q) as usize;
@@ -269,6 +314,9 @@ impl ApxOperator for Aca {
                 ow[i] = ps[i] ^ carry;
             }
         });
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
@@ -398,6 +446,9 @@ impl ApxOperator for EtaIv {
     fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
         eta_eval_batch(self.n, self.x, 2 * self.x, a, b, out);
     }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let x = self.x as usize;
@@ -489,6 +540,9 @@ impl ApxOperator for EtaIi {
     }
     fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
         eta_eval_batch(self.n, self.x, self.x, a, b, out);
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
@@ -650,6 +704,9 @@ impl ApxOperator for RcaApx {
                 }
             }
         });
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;

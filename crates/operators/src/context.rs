@@ -312,28 +312,6 @@ impl OperatorCtx {
         }
     }
 
-    /// Creates a context from optional adder and multiplier models.
-    ///
-    /// # Deprecation
-    /// The positional-`Option` form is kept only as a thin wrapper for
-    /// source compatibility; build contexts with
-    /// [`OperatorCtx::with_adder`], [`OperatorCtx::with_multiplier`],
-    /// [`OperatorCtx::exact`] or [`OperatorCtx::for_config`] instead.
-    ///
-    /// # Panics
-    /// Panics if an operator of the wrong class is supplied.
-    #[must_use]
-    #[deprecated(
-        since = "0.6.0",
-        note = "use OperatorCtx::with_adder / with_multiplier / exact / for_config"
-    )]
-    pub fn new(
-        adder: Option<Box<dyn ApxOperator>>,
-        multiplier: Option<Box<dyn ApxOperator>>,
-    ) -> Self {
-        OperatorCtx::from_slots(adder, multiplier)
-    }
-
     /// A fully exact context (both slots empty) that still counts.
     #[must_use]
     pub fn exact() -> Self {
@@ -632,15 +610,6 @@ mod tests {
     #[should_panic(expected = "adder slot needs an adder")]
     fn wrong_class_is_rejected() {
         let _ = OperatorCtx::with_adder(OperatorConfig::MulExact { n: 8 }.build());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_constructor_still_works() {
-        let mut ctx =
-            OperatorCtx::new(Some(OperatorConfig::AddTrunc { n: 16, q: 8 }.build()), None);
-        assert_eq!(ctx.add(0x0101, 0x0101), 0x0200);
-        assert_eq!(ctx.counts().adds, 1);
     }
 
     #[test]

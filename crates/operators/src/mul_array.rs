@@ -15,7 +15,7 @@
 //! ```
 
 use crate::traits::{ApxOperator, OpClass};
-use crate::util::{bit, mask_u};
+use crate::util::{bit, bitsliced_batch, compress_columns64, mask_u, sext, to_u};
 use apx_netlist::{NetId, Netlist, NetlistBuilder};
 
 /// One Baugh-Wooley partial-product term.
@@ -36,6 +36,19 @@ impl BwTerm {
             BwTerm::And(i, j) => bit(a, i) & bit(b, j),
             BwTerm::Nand(i, j) => 1 ^ (bit(a, i) & bit(b, j)),
             BwTerm::One => 1,
+        }
+    }
+
+    /// 64-lane form of [`BwTerm::value`]: `aw`/`bw` are transposed
+    /// per-bit lane words, the result holds the term for all 64 lanes.
+    /// (Constant/NAND terms are 1 in unused lanes — harmless, since the
+    /// batch driver only untransposes the live lanes.)
+    #[inline]
+    pub(crate) fn value64(self, aw: &[u64; 64], bw: &[u64; 64]) -> u64 {
+        match self {
+            BwTerm::And(i, j) => aw[i as usize] & bw[j as usize],
+            BwTerm::Nand(i, j) => !(aw[i as usize] & bw[j as usize]),
+            BwTerm::One => !0,
         }
     }
 
@@ -143,6 +156,23 @@ impl ApxOperator for MulExact {
     fn eval_u(&self, a: u64, b: u64) -> u64 {
         (sum_terms(&self.cols, a, b, |_| true) as u64) & mask_u(2 * self.n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // The Baugh-Wooley grid sums to the native signed product mod
+        // 2^{2n} (pinned by `bw_grid_sums_to_the_signed_product`), so the
+        // batch path is a word-parallel product loop instead of the
+        // scalar model's O(n²) term walk.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let n = self.n;
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = to_u(sext(ai, n).wrapping_mul(sext(bi, n)), 2 * n);
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let mut b = NetlistBuilder::new(self.name());
@@ -206,6 +236,23 @@ impl ApxOperator for MulTrunc {
         let full = (sum_terms(&self.cols, a, b, |_| true) as u64) & mask_u(2 * self.n);
         (full >> (2 * self.n - self.q)) & mask_u(self.q)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Full product word-parallel (see `MulExact::eval_batch`), then
+        // the MULt output truncation: keep the q MSBs of the 2n product.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let n = self.n;
+        let shift = 2 * n - self.q;
+        let m = mask_u(self.q);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = (to_u(sext(ai, n).wrapping_mul(sext(bi, n)), 2 * n) >> shift) & m;
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let mut b = NetlistBuilder::new(self.name());
@@ -268,6 +315,25 @@ impl ApxOperator for MulRound {
         let round = 1u128 << (2 * self.n - self.q - 1);
         let full = sum_terms(&self.cols, a, b, |_| true) + round;
         ((full as u64) & mask_u(2 * self.n)) >> (2 * self.n - self.q)
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Word-parallel product plus the rounding constant, mod 2^{2n}
+        // (2n <= 48, so the sum cannot overflow a u64), then the shift.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let n = self.n;
+        let shift = 2 * n - self.q;
+        let round = 1u64 << (shift - 1);
+        let m = mask_u(2 * n);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            let full = to_u(sext(ai, n).wrapping_mul(sext(bi, n)), 2 * n) + round;
+            *o = (full & m) >> shift;
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
@@ -372,6 +438,33 @@ impl ApxOperator for Aam {
         }
         ((total >> n) as u64) & mask_u(n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // True 64-lane bitslice of the pruned array: every kept grid term
+        // becomes one lane word, the compensation ORs collapse to word
+        // ORs, and the column sum runs through word-parallel carry-save
+        // compression. All terms sit at weight >= n and the scalar model
+        // masks to n output bits, so compressing the rebased columns mod
+        // 2^n reproduces `(total >> n) & mask(n)` exactly.
+        let n = self.n as usize;
+        let grid = &self.cols;
+        let diag = self.diagonal_terms();
+        let mut cols: Vec<Vec<u64>> = vec![Vec::new(); n];
+        bitsliced_batch(self.n, a, b, out, move |aw, bw, ow| {
+            for c in n..2 * n {
+                for term in &grid[c] {
+                    cols[c - n].push(term.value64(aw, bw));
+                }
+            }
+            for pair in diag.chunks(2) {
+                let or = pair.iter().map(|t| t.value64(aw, bw)).fold(0, |x, y| x | y);
+                cols[0].push(or);
+            }
+            compress_columns64(&mut cols, ow);
+        });
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let n = self.n as usize;
         let mut b = NetlistBuilder::new(self.name());
@@ -466,6 +559,48 @@ mod tests {
         }
         let op = Aam::new(16);
         verify_random2(&op.netlist(), 2_000, 13, |a, b| op.eval_u(a, b)).unwrap();
+    }
+
+    #[test]
+    fn multiplier_batches_match_scalar_eval_exhaustively() {
+        let ops: Vec<Box<dyn ApxOperator>> = vec![
+            Box::new(MulExact::new(4)),
+            Box::new(MulExact::new(8)),
+            Box::new(MulTrunc::new(8, 8)),
+            Box::new(MulTrunc::new(8, 3)),
+            Box::new(MulTrunc::new(8, 16)),
+            Box::new(MulRound::new(8, 8)),
+            Box::new(MulRound::new(8, 13)),
+            Box::new(Aam::new(8)),
+        ];
+        // all 65536 operand pairs in batches of 256 (4 transposed chunks)
+        for op in ops {
+            assert!(op.batch_accelerated(), "{}", op.name());
+            let m = mask_u(op.input_bits());
+            let mut batch_a = Vec::new();
+            let mut batch_b = Vec::new();
+            let mut out = vec![0u64; (m + 1) as usize];
+            for a in 0..=m {
+                batch_a.clear();
+                batch_b.clear();
+                for b in 0..=m {
+                    batch_a.push(a);
+                    batch_b.push(b);
+                }
+                op.eval_batch(&batch_a, &batch_b, &mut out);
+                for (b, &got) in out.iter().enumerate() {
+                    let want = op.eval_u(a, b as u64);
+                    assert_eq!(got, want, "{} a={a} b={b}", op.name());
+                }
+            }
+            // ragged tail (len % 64 != 0) through the same kernel
+            let take = batch_a.len().min(97);
+            let mut ragged = vec![0u64; take];
+            op.eval_batch(&batch_a[..take], &batch_b[..take], &mut ragged);
+            for (i, &got) in ragged.iter().enumerate() {
+                assert_eq!(got, op.eval_u(batch_a[i], batch_b[i]), "{}", op.name());
+            }
+        }
     }
 
     #[test]

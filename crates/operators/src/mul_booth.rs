@@ -26,7 +26,7 @@
 //! K-means success collapsing to ~10 %); see EXPERIMENTS.md.
 
 use crate::traits::{ApxOperator, OpClass};
-use crate::util::{bit, mask_u};
+use crate::util::{bit, bitsliced_batch, compress_columns64, mask_u, sext, to_u};
 use apx_netlist::{NetId, Netlist, NetlistBuilder};
 use std::collections::HashMap;
 
@@ -121,6 +121,68 @@ fn booth_eval(n: u32, a: u64, b: u64, pruning: BoothPruning) -> u128 {
         }
     }
     total
+}
+
+/// 64-lane bitsliced twin of [`booth_eval`] for the pruned fixed-width
+/// variants (`min_col == n`, output `(total >> n) & mask(n)`): the Booth
+/// encoders, pattern bits, sign bits and compensation ORs all evaluate as
+/// single word ops over transposed lane words, and the rebased columns
+/// run through word-parallel carry-save compression. Every kept term sits
+/// at column `>= n`, so compressing the rebased grid mod `2^n` is exactly
+/// the scalar model's shift-and-mask.
+fn booth_eval_batch(n: u32, pruning: BoothPruning, a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(pruning.min_col, n, "kernel is for fixed-width pruning");
+    let nu = n as usize;
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); nu];
+    let mut diag: Vec<u64> = Vec::new();
+    bitsliced_batch(n, a, b, out, move |aw, bw, ow| {
+        for k in 0..nu / 2 {
+            let b_hi = bw[2 * k + 1];
+            let b_mid = bw[2 * k];
+            let b_lo = if k == 0 { 0 } else { bw[2 * k - 1] };
+            let x1 = b_mid ^ b_lo;
+            let x2 = !x1 & (b_hi ^ b_mid);
+            let neg = b_hi;
+            let pp = |t: usize| -> u64 {
+                let a_t = aw[t.min(nu - 1)];
+                let a_shift = if t > 0 { aw[t - 1] } else { 0 };
+                ((x1 & a_t) | (x2 & a_shift)) ^ neg
+            };
+            for t in 0..=nu {
+                let col = 2 * k + t;
+                if col >= nu {
+                    cols[col - nu].push(pp(t));
+                }
+            }
+            // the +neg corrections all sit at columns 2k < n: pruned
+            if pruning.sign_correction {
+                let sign_col = 2 * k + nu + 1;
+                if sign_col < 2 * nu {
+                    cols[sign_col - nu].push(!pp(nu));
+                }
+            }
+            if pruning.diagonal_compensation {
+                let comp_col = nu - 1;
+                if comp_col >= 2 * k && comp_col - 2 * k <= nu {
+                    diag.push(pp(comp_col - 2 * k));
+                }
+            }
+        }
+        if pruning.sign_correction {
+            let c = booth_const(n) & !mask_u(n);
+            for col in nu..2 * nu {
+                if bit(c, col as u32) == 1 {
+                    cols[col - nu].push(!0);
+                }
+            }
+        }
+        for pair in diag.chunks(2) {
+            let or = pair.iter().copied().fold(0, |x, y| x | y);
+            cols[0].push(or);
+        }
+        diag.clear();
+        compress_columns64(&mut cols, ow);
+    });
 }
 
 /// Shared netlist generator for all Booth variants.
@@ -279,6 +341,22 @@ impl ApxOperator for MulBoothExact {
         };
         (booth_eval(self.n, a, b, pruning) as u64) & mask_u(2 * self.n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // The unpruned Booth grid sums to the native signed product mod
+        // 2^{2n} (pinned by `exact_booth_equals_the_signed_product`), so
+        // the batch path is a word-parallel product loop.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let n = self.n;
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            *o = to_u(sext(ai, n).wrapping_mul(sext(bi, n)), 2 * n);
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         booth_netlist(
             self.name(),
@@ -344,6 +422,12 @@ impl ApxOperator for Abm {
         let total = booth_eval(self.n, a, b, self.pruning());
         ((total >> self.n) as u64) & mask_u(self.n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        booth_eval_batch(self.n, self.pruning(), a, b, out);
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         booth_netlist(self.name(), self.n, self.pruning())
     }
@@ -406,6 +490,12 @@ impl ApxOperator for AbmUncorrected {
         let total = booth_eval(self.n, a, b, self.pruning());
         ((total >> self.n) as u64) & mask_u(self.n)
     }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        booth_eval_batch(self.n, self.pruning(), a, b, out);
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         booth_netlist(self.name(), self.n, self.pruning())
     }
@@ -435,7 +525,7 @@ mod tests {
 
     #[test]
     fn exact_booth_equals_the_signed_product() {
-        for n in [4u32, 6] {
+        for n in [4u32, 6, 8] {
             let op = MulBoothExact::new(n);
             for a in 0..1u64 << n {
                 for b in 0..1u64 << n {
@@ -474,6 +564,45 @@ mod tests {
         }
         let op = AbmUncorrected::new(16);
         verify_random2(&op.netlist(), 2_000, 23, |a, b| op.eval_u(a, b)).unwrap();
+    }
+
+    #[test]
+    fn booth_batches_match_scalar_eval_exhaustively() {
+        let ops: Vec<Box<dyn ApxOperator>> = vec![
+            Box::new(MulBoothExact::new(4)),
+            Box::new(MulBoothExact::new(8)),
+            Box::new(Abm::new(4)),
+            Box::new(Abm::new(8)),
+            Box::new(AbmUncorrected::new(4)),
+            Box::new(AbmUncorrected::new(8)),
+        ];
+        for op in ops {
+            assert!(op.batch_accelerated(), "{}", op.name());
+            let m = mask_u(op.input_bits());
+            let mut batch_a = Vec::new();
+            let mut batch_b = Vec::new();
+            let mut out = vec![0u64; (m + 1) as usize];
+            for a in 0..=m {
+                batch_a.clear();
+                batch_b.clear();
+                for b in 0..=m {
+                    batch_a.push(a);
+                    batch_b.push(b);
+                }
+                op.eval_batch(&batch_a, &batch_b, &mut out);
+                for (b, &got) in out.iter().enumerate() {
+                    let want = op.eval_u(a, b as u64);
+                    assert_eq!(got, want, "{} a={a} b={b}", op.name());
+                }
+            }
+            // ragged tail (len % 64 != 0) through the same kernel
+            let take = batch_a.len().min(97);
+            let mut ragged = vec![0u64; take];
+            op.eval_batch(&batch_a[..take], &batch_b[..take], &mut ragged);
+            for (i, &got) in ragged.iter().enumerate() {
+                assert_eq!(got, op.eval_u(batch_a[i], batch_b[i]), "{}", op.name());
+            }
+        }
     }
 
     #[test]

@@ -196,6 +196,9 @@ impl ApxOperator for SizedAdd {
             ow[w..n].fill(0);
         });
     }
+    fn batch_accelerated(&self) -> bool {
+        true
+    }
     fn netlist(&self) -> Netlist {
         let s = (self.n - self.w) as usize;
         let mut b = NetlistBuilder::new(self.name());
@@ -287,6 +290,24 @@ impl ApxOperator for SizedMul {
         let qa = quantize(a, self.n, self.w, self.mode, true);
         let qb = quantize(b, self.n, self.w, self.mode, true);
         to_u(sext(qa, self.w).wrapping_mul(sext(qb, self.w)), 2 * self.w)
+    }
+    fn eval_batch(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        // Word-parallel: the saturating quantizers and the reduced w×w
+        // product are a handful of word ops per sample, monomorphized
+        // here so the batch loop pays no per-sample dynamic dispatch.
+        assert!(
+            a.len() == b.len() && a.len() == out.len(),
+            "batch length mismatch"
+        );
+        let (n, w, mode) = (self.n, self.w, self.mode);
+        for ((&ai, &bi), o) in a.iter().zip(b).zip(out.iter_mut()) {
+            let qa = quantize(ai, n, w, mode, true);
+            let qb = quantize(bi, n, w, mode, true);
+            *o = to_u(sext(qa, w).wrapping_mul(sext(qb, w)), 2 * w);
+        }
+    }
+    fn batch_accelerated(&self) -> bool {
+        true
     }
     fn netlist(&self) -> Netlist {
         let s = (self.n - self.w) as usize;

@@ -100,6 +100,18 @@ pub trait ApxOperator: Send + Sync {
         }
     }
 
+    /// Whether [`ApxOperator::eval_batch`] is an accelerated override
+    /// (64-lane bitsliced or word-parallel) rather than the scalar
+    /// fallback loop above.
+    ///
+    /// Purely introspective — callers must not branch on it for
+    /// correctness. It exists so the batch-coverage test can enumerate
+    /// every [`crate::OperatorConfig`] family and fail the build when a
+    /// family ships with the scalar default path.
+    fn batch_accelerated(&self) -> bool {
+        false
+    }
+
     /// Batched form of [`ApxOperator::reference_u`].
     ///
     /// # Panics

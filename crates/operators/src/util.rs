@@ -86,6 +86,10 @@ pub(crate) fn untranspose_lanes(words: &[u64; 64], width: u32, out: &mut [u64]) 
 /// transposed 64 lanes at a time, `kernel(aw, bw, ow)` computes all
 /// output bit-words, and the result is transposed back into `out`.
 ///
+/// The kernel is `FnMut` so it can own reusable scratch (the multiplier
+/// kernels keep their partial-product column accumulators across chunks
+/// instead of allocating per 64 lanes).
+///
 /// # Panics
 /// Panics unless `a`, `b` and `out` have equal lengths.
 #[inline]
@@ -94,7 +98,7 @@ pub(crate) fn bitsliced_batch(
     a: &[u64],
     b: &[u64],
     out: &mut [u64],
-    kernel: impl Fn(&[u64; 64], &[u64; 64], &mut [u64; 64]),
+    mut kernel: impl FnMut(&[u64; 64], &[u64; 64], &mut [u64; 64]),
 ) {
     assert!(
         a.len() == b.len() && a.len() == out.len(),
@@ -108,6 +112,42 @@ pub(crate) fn bitsliced_batch(
         transpose_lanes(bc, width, &mut bw);
         kernel(&aw, &bw, &mut ow);
         untranspose_lanes(&ow, width, oc);
+    }
+}
+
+/// Word-parallel carry-save column compressor — the bitsliced twin of the
+/// netlist generators' Wallace compression, with every partial-product
+/// "gate" evaluated for 64 lanes per word op (the same trick as
+/// [`crate::FaType::apply64`], here with exact full/half-adder cells).
+///
+/// `cols[c]` holds 64-lane term words of weight `2^c`; each column is
+/// reduced to a single word by exact full adders (`sum = x^y^z`,
+/// `carry = maj(x,y,z)`) whose carries feed column `c+1`, and the final
+/// per-bit words land in `out[..cols.len()]`. Carries out of the top
+/// column are dropped, i.e. the per-lane sum is taken mod
+/// `2^cols.len()` — exactly what the scalar models' mask achieves.
+/// Columns are left empty so the scratch can be reused across chunks.
+pub(crate) fn compress_columns64(cols: &mut [Vec<u64>], out: &mut [u64; 64]) {
+    let width = cols.len();
+    for c in 0..width {
+        while cols[c].len() > 2 {
+            let x = cols[c].pop().unwrap();
+            let y = cols[c].pop().unwrap();
+            let z = cols[c].pop().unwrap();
+            cols[c].push(x ^ y ^ z);
+            if c + 1 < width {
+                cols[c + 1].push((x & y) | (x & z) | (y & z));
+            }
+        }
+        if cols[c].len() == 2 {
+            let x = cols[c].pop().unwrap();
+            let y = cols[c].pop().unwrap();
+            cols[c].push(x ^ y);
+            if c + 1 < width {
+                cols[c + 1].push(x & y);
+            }
+        }
+        out[c] = cols[c].pop().unwrap_or(0);
     }
 }
 

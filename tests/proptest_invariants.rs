@@ -1,6 +1,6 @@
 //! Property-based tests over the cross-crate invariants.
 
-use apxperf::operators::{centered_diff, mask_u, sext, to_u, FaType, OperatorConfig};
+use apxperf::operators::{centered_diff, mask_u, sext, to_u, FaType, OperatorConfig, QuantMode};
 use proptest::prelude::*;
 
 fn arb_adder_config() -> impl Strategy<Value = OperatorConfig> {
@@ -50,6 +50,61 @@ fn arb_mult_config() -> impl Strategy<Value = OperatorConfig> {
         (4u32..=8).prop_map(|n| OperatorConfig::Aam { n }),
         (2u32..=4).prop_map(|k| OperatorConfig::Abm { n: 2 * k }),
         (2u32..=4).prop_map(|k| OperatorConfig::AbmUncorrected { n: 2 * k }),
+    ]
+}
+
+fn arb_quant_mode() -> impl Strategy<Value = QuantMode> {
+    proptest::sample::select(vec![QuantMode::Trunc, QuantMode::Round])
+}
+
+fn arb_sized_config() -> impl Strategy<Value = OperatorConfig> {
+    prop_oneof![
+        (3u32..=12, arb_quant_mode())
+            .prop_flat_map(|(n, mode)| (Just(n), 2..n, Just(mode)))
+            .prop_map(|(n, w, mode)| OperatorConfig::AddSized { n, w, mode }),
+        (3u32..=10, arb_quant_mode())
+            .prop_flat_map(|(n, mode)| (Just(n), 2..n, Just(mode)))
+            .prop_map(|(n, w, mode)| OperatorConfig::MulSized { n, w, mode }),
+    ]
+}
+
+/// Full-width corner configurations — every family at the widest operand
+/// it accepts (adders n = 32, multipliers n = 24, Booth up to 24) — so
+/// the bitsliced kernels are exercised at their transposition extremes,
+/// not only mid-range.
+fn arb_extreme_config() -> impl Strategy<Value = OperatorConfig> {
+    prop_oneof![
+        Just(OperatorConfig::AddExact { n: 32 }),
+        (1u32..=32).prop_map(|q| OperatorConfig::AddTrunc { n: 32, q }),
+        (1u32..32).prop_map(|q| OperatorConfig::AddRound { n: 32, q }),
+        (1u32..=32).prop_map(|p| OperatorConfig::Aca { n: 32, p }),
+        proptest::sample::select(vec![1u32, 2, 4, 8, 16, 32])
+            .prop_map(|x| OperatorConfig::EtaIv { n: 32, x }),
+        proptest::sample::select(vec![1u32, 2, 4, 8, 16, 32])
+            .prop_map(|x| OperatorConfig::EtaIi { n: 32, x }),
+        (0u32..=32, 0usize..3).prop_map(|(m, t)| OperatorConfig::RcaApx {
+            n: 32,
+            m,
+            fa_type: [FaType::One, FaType::Two, FaType::Three][t],
+        }),
+        Just(OperatorConfig::MulExact { n: 24 }),
+        (1u32..=48).prop_map(|q| OperatorConfig::MulTrunc { n: 24, q }),
+        (1u32..48).prop_map(|q| OperatorConfig::MulRound { n: 24, q }),
+        proptest::sample::select(vec![16u32, 20, 24]).prop_map(|n| OperatorConfig::MulBooth { n }),
+        proptest::sample::select(vec![16u32, 20, 24]).prop_map(|n| OperatorConfig::Aam { n }),
+        proptest::sample::select(vec![16u32, 20, 24]).prop_map(|n| OperatorConfig::Abm { n }),
+        proptest::sample::select(vec![16u32, 20, 24])
+            .prop_map(|n| OperatorConfig::AbmUncorrected { n }),
+        (2u32..32, arb_quant_mode()).prop_map(|(w, mode)| OperatorConfig::AddSized {
+            n: 32,
+            w,
+            mode
+        }),
+        (2u32..24, arb_quant_mode()).prop_map(|(w, mode)| OperatorConfig::MulSized {
+            n: 24,
+            w,
+            mode
+        }),
     ]
 }
 
@@ -124,12 +179,19 @@ proptest! {
     }
 
     /// Batched evaluation is extensionally equal to the scalar model for
-    /// every operator config family — the contract that lets the bitsliced
-    /// `eval_batch` overrides (ACA/ETA/RCAApx) stand in for per-sample
-    /// loops in the characterization engine.
+    /// every operator config family — including the multipliers, the
+    /// sized variants and the full-width corner configs — the contract
+    /// that lets the accelerated `eval_batch` overrides stand in for
+    /// per-sample loops in the characterization engine. `len` runs over
+    /// ragged tails (len % 64 != 0) as well as exact 64-lane multiples.
     #[test]
     fn eval_batch_matches_scalar_eval(
-        config in prop_oneof![arb_adder_config(), arb_mult_config()],
+        config in prop_oneof![
+            arb_adder_config(),
+            arb_mult_config(),
+            arb_sized_config(),
+            arb_extreme_config(),
+        ],
         seed in any::<u64>(),
         len in 1usize..200,
     ) {
@@ -174,5 +236,72 @@ proptest! {
         let inverted: Vec<u8> = img.pixels().iter().map(|&p| 255 - p).collect();
         let opposite = apxperf::metrics::mssim(img.pixels(), &inverted, 32, 32);
         prop_assert!(opposite < same);
+    }
+}
+
+/// Every `OperatorConfig` family ships an accelerated `eval_batch`
+/// override: none may silently fall back to the per-sample scalar
+/// default. The list has one entry per enum variant, and the `match`
+/// below fails to compile when a variant is added without extending it —
+/// so a new family cannot land unbatched unnoticed.
+#[test]
+fn every_operator_family_is_batch_accelerated() {
+    let all = [
+        OperatorConfig::AddExact { n: 16 },
+        OperatorConfig::AddTrunc { n: 16, q: 10 },
+        OperatorConfig::AddRound { n: 16, q: 10 },
+        OperatorConfig::Aca { n: 16, p: 4 },
+        OperatorConfig::EtaIv { n: 16, x: 4 },
+        OperatorConfig::EtaIi { n: 16, x: 4 },
+        OperatorConfig::RcaApx {
+            n: 16,
+            m: 8,
+            fa_type: FaType::Two,
+        },
+        OperatorConfig::MulExact { n: 16 },
+        OperatorConfig::MulTrunc { n: 16, q: 16 },
+        OperatorConfig::MulRound { n: 16, q: 16 },
+        OperatorConfig::MulBooth { n: 16 },
+        OperatorConfig::Aam { n: 16 },
+        OperatorConfig::Abm { n: 16 },
+        OperatorConfig::AbmUncorrected { n: 16 },
+        OperatorConfig::AddSized {
+            n: 16,
+            w: 10,
+            mode: QuantMode::Round,
+        },
+        OperatorConfig::MulSized {
+            n: 16,
+            w: 10,
+            mode: QuantMode::Trunc,
+        },
+    ];
+    for config in all {
+        // exhaustiveness guard: adding an OperatorConfig variant breaks
+        // this match until the new family appears in the list above
+        match config {
+            OperatorConfig::AddExact { .. }
+            | OperatorConfig::AddTrunc { .. }
+            | OperatorConfig::AddRound { .. }
+            | OperatorConfig::Aca { .. }
+            | OperatorConfig::EtaIv { .. }
+            | OperatorConfig::EtaIi { .. }
+            | OperatorConfig::RcaApx { .. }
+            | OperatorConfig::MulExact { .. }
+            | OperatorConfig::MulTrunc { .. }
+            | OperatorConfig::MulRound { .. }
+            | OperatorConfig::MulBooth { .. }
+            | OperatorConfig::Aam { .. }
+            | OperatorConfig::Abm { .. }
+            | OperatorConfig::AbmUncorrected { .. }
+            | OperatorConfig::AddSized { .. }
+            | OperatorConfig::MulSized { .. } => {}
+        }
+        let op = config.build();
+        assert!(
+            op.batch_accelerated(),
+            "{} falls back to the scalar eval_batch default",
+            op.name()
+        );
     }
 }
