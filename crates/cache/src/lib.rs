@@ -398,8 +398,14 @@ impl Cache {
             return;
         }
         let path = inner.dir.join(Cache::RUN_STATS_FILE);
+        // unique per process AND per call, exactly like `put`: the serve
+        // daemon persists after every cold report and after every drained
+        // job, so concurrent in-process persists must never share a temp
+        // file — one writer's truncate could tear another's rename
+        static PERSIST_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = PERSIST_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = inner.dir.join(format!(
-            "{}.tmp.{}",
+            "{}.tmp.{}.{seq}",
             Cache::RUN_STATS_FILE,
             std::process::id()
         ));
@@ -580,6 +586,46 @@ mod tests {
         let off = Cache::disabled();
         off.persist_run_stats();
         assert_eq!(off.last_run_stats(), None);
+    }
+
+    #[test]
+    fn run_stats_survive_concurrent_in_process_persists_and_reads() {
+        // the serve daemon persists after every cold report and after
+        // every drained job, from many threads over one shared handle;
+        // with atomic renames and call-unique temp files, a reader must
+        // always see a complete record — never a torn or vanished file
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        cache.put(&key("warmup"), &0u64);
+        let _ = cache.get::<u64>(&key("warmup"));
+        cache.persist_run_stats();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        cache.persist_run_stats();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert!(
+                            cache.last_run_stats().is_some(),
+                            "a concurrent persist tore or removed the record"
+                        );
+                    }
+                });
+            }
+        });
+        // no temp-file droppings survive the storm
+        let leftovers: Vec<_> = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        assert_eq!(cache.last_run_stats().map(|s| s.writes), Some(1));
     }
 
     #[test]

@@ -10,13 +10,11 @@
 
 use apx_apps::WorkloadParams;
 use apx_cache::Cache;
+use apx_core::query::QueryParams;
 use apx_core::{CharacterizerSettings, Engine};
 use std::path::PathBuf;
 
-/// Verification vectors used by all CLI runs (the repro preset).
-const VERIFY_SAMPLES: usize = 2_000;
-/// Exhaustive-verification bound used by all CLI runs.
-const EXHAUSTIVE_UP_TO_BITS: u32 = 16;
+pub use apx_core::output::Format;
 
 /// One declared flag: spelling, value placeholder (empty for boolean
 /// switches), default shown in help, and help text.
@@ -138,22 +136,28 @@ pub const FLAGS: &[FlagSpec] = &[
         default: "",
         help: "list each workload's declared call-sites and op classes instead",
     },
+    FlagSpec {
+        name: "addr",
+        value: "HOST:PORT",
+        default: "127.0.0.1:8787",
+        help: "serve: listen address (port 0 binds an ephemeral port)",
+    },
+    FlagSpec {
+        name: "port-file",
+        value: "PATH",
+        default: "off",
+        help: "serve: write the actual bound address to PATH once listening",
+    },
+    FlagSpec {
+        name: "queue",
+        value: "N",
+        default: "32",
+        help: "serve: bounded job-queue capacity for POST /sweep and /pareto",
+    },
 ];
 
 fn spec(name: &str) -> Option<&'static FlagSpec> {
     FLAGS.iter().find(|f| f.name == name)
-}
-
-/// Table-output format selected by `--format`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Format {
-    /// Aligned human-readable table (the default).
-    #[default]
-    Tty,
-    /// One JSON array of row objects.
-    Json,
-    /// Comma-separated values with a header row.
-    Csv,
 }
 
 /// Fully parsed arguments of one subcommand invocation.
@@ -193,6 +197,12 @@ pub struct Args {
     pub families: Option<String>,
     /// `--sites`.
     pub sites: bool,
+    /// `--addr` (the serve listen address).
+    pub addr: String,
+    /// `--port-file` (`None` when not requested).
+    pub port_file: Option<PathBuf>,
+    /// `--queue` (serve job-queue capacity).
+    pub queue: usize,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
     /// Names of the flags the user explicitly passed (lets commands
@@ -220,6 +230,9 @@ impl Default for Args {
             budget: None,
             families: None,
             sites: false,
+            addr: "127.0.0.1:8787".to_owned(),
+            port_file: None,
+            queue: 32,
             positional: Vec::new(),
             explicit: Vec::new(),
         }
@@ -301,21 +314,15 @@ impl Args {
                 "sets" => args.sets = parse_int(name, value)? as usize,
                 "points" => args.points = parse_int(name, value)? as usize,
                 "cache-dir" => args.cache_dir = Some(PathBuf::from(value)),
-                "format" => {
-                    args.format = match value.as_str() {
-                        "tty" => Format::Tty,
-                        "json" => Format::Json,
-                        "csv" => Format::Csv,
-                        other => {
-                            return Err(format!("--format: `{other}` is not json, csv or tty"))
-                        }
-                    }
-                }
+                "format" => args.format = Format::parse(value)?,
                 "out" => args.out = value.clone(),
                 "family" => args.family = value.clone(),
                 "workload" => args.workload = Some(value.clone()),
                 "budget" => args.budget = Some(value.clone()),
                 "families" => args.families = Some(value.clone()),
+                "addr" => args.addr = value.clone(),
+                "port-file" => args.port_file = Some(PathBuf::from(value)),
+                "queue" => args.queue = parse_positive(name, value)? as usize,
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -354,16 +361,28 @@ impl Args {
         }
     }
 
+    /// The shared query parameters these arguments select — the same
+    /// [`QueryParams`] the serve daemon resolves request bodies into, so
+    /// CLI and server derive identical settings (and cache keys) from
+    /// identical inputs.
+    #[must_use]
+    pub fn query_params(&self) -> QueryParams {
+        QueryParams {
+            samples: self.samples,
+            vectors: self.vectors,
+            seed: self.was_set("seed").then_some(self.seed),
+            size: self.size,
+            sets: self.sets,
+            points: self.points,
+        }
+    }
+
     /// The workload-shaping parameters these arguments select
     /// (`--size`/`--sets`/`--points` mapped onto the shared
     /// [`WorkloadParams`] every registry constructor takes).
     #[must_use]
     pub fn workload_params(&self) -> WorkloadParams {
-        WorkloadParams {
-            size: self.size,
-            sets: self.sets,
-            points: self.points,
-        }
+        self.query_params().workload_params()
     }
 
     /// The characterizer settings these arguments select (the repro
@@ -372,11 +391,8 @@ impl Args {
     #[must_use]
     pub fn settings(&self) -> CharacterizerSettings {
         CharacterizerSettings {
-            error_samples: self.samples,
-            verify_samples: VERIFY_SAMPLES,
-            exhaustive_up_to_bits: EXHAUSTIVE_UP_TO_BITS,
-            power_vectors: self.vectors,
             seed: self.seed,
+            ..self.query_params().settings()
         }
     }
 

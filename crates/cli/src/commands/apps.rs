@@ -4,43 +4,15 @@
 
 use super::{report_cache_use, workload_cells};
 use crate::args::Args;
-use crate::output::{family, fmt, render};
 use apx_core::appenergy::WorkloadCell;
-use apx_core::sweeps;
+use apx_core::{query, sweeps};
 
 /// The uniform workload result table shared by `app` and
-/// `sweep --workload`: the unified score with its metric kind, the
-/// kind-free exact-relative degradation, and the eq. (1) energy split.
+/// `sweep --workload` — rendered by [`query::workload_table`], the same
+/// function the serve daemon uses, so served sweeps match this stdout
+/// byte for byte.
 pub(super) fn render_workload_table(args: &Args, cells: &[WorkloadCell]) -> String {
-    let rows: Vec<Vec<String>> = cells
-        .iter()
-        .map(|cell| {
-            vec![
-                cell.config.to_string(),
-                family(&cell.config).to_owned(),
-                cell.run.score.metric().to_owned(),
-                fmt(cell.run.score.value(), 4),
-                fmt(cell.run.score.degradation(), 6),
-                fmt(cell.model.adder_pdp_pj * 1e3, 3),
-                fmt(cell.model.mult_pdp_pj * 1e3, 3),
-                fmt(cell.model.energy_pj(cell.run.counts), 3),
-            ]
-        })
-        .collect();
-    render(
-        args.format,
-        &[
-            "operator",
-            "family",
-            "metric",
-            "score",
-            "degradation",
-            "E_add_fJ",
-            "E_mul_fJ",
-            "E_app_pJ",
-        ],
-        &rows,
-    )
+    query::workload_table(args.format, cells)
 }
 
 /// `apxperf app <WORKLOAD>` — runs one registered workload over an

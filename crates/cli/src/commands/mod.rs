@@ -14,6 +14,7 @@ mod apps;
 mod baseline;
 mod figures;
 mod pareto;
+mod serve;
 mod tables;
 mod tools;
 mod tune;
@@ -280,6 +281,24 @@ pub const COMMANDS: &[Command] = &[
         flags: &["cache-dir", "format"],
         run: tools::cache,
     },
+    Command {
+        name: "serve",
+        summary: "Characterization-as-a-service HTTP daemon (report/sweep/pareto/stats)",
+        positional: "",
+        max_positional: 0,
+        flags: &[
+            "addr",
+            "port-file",
+            "queue",
+            "samples",
+            "vectors",
+            "seed",
+            "threads",
+            "cache-dir",
+            "no-cache",
+        ],
+        run: serve::serve,
+    },
 ];
 
 /// Looks a subcommand up by name.
@@ -309,11 +328,7 @@ pub(crate) fn resolve_workload(
     args: &Args,
     name: &str,
 ) -> Result<(Box<dyn Workload>, u64), String> {
-    let entry = apx_apps::workload::find(name)
-        .ok_or_else(|| format!("unknown workload `{name}` — see `apxperf list`"))?;
-    let workload = (entry.build)(&args.workload_params())?;
-    let seed = args.seed_or(workload.default_seed());
-    Ok((workload, seed))
+    apx_core::query::resolve_workload(&args.query_params(), name)
 }
 
 /// The standard application-sweep runner behind `app`, `sweep

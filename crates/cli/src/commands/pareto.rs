@@ -4,127 +4,37 @@
 //! front, and flag every approximate configuration that a sized-exact
 //! operator dominates.
 
-use super::{report_cache_use, resolve_workload};
+use super::report_cache_use;
 use crate::args::Args;
-use crate::output::{family, fmt, render};
 use apx_cells::Library;
-use apx_core::pareto::{workload_pareto, ParetoEntry};
-use apx_core::sweeps;
-use apx_operators::OperatorConfig;
-
-/// Assembles the overlay configuration list: the selected approximate
-/// family (or everything under `--all`) plus the full Sized baseline,
-/// first occurrence winning on duplicates (the exact operators belong to
-/// both sides).
-fn overlay_configs(args: &Args) -> Result<Vec<OperatorConfig>, String> {
-    if args.all && args.was_set("family") {
-        return Err("--family and --all are mutually exclusive".to_owned());
-    }
-    let family_name = if args.all {
-        "all"
-    } else {
-        args.family_or("points")
-    };
-    let sweep_family = sweeps::find_family(family_name).ok_or_else(|| {
-        format!("--family: `{family_name}` is not a registered family — see `apxperf list`")
-    })?;
-    let mut configs = (sweep_family.configs)();
-    configs.extend(sweeps::sized_baseline_16bit());
-    let mut seen = Vec::with_capacity(configs.len());
-    configs.retain(|config| {
-        let fresh = !seen.contains(config);
-        if fresh {
-            seen.push(*config);
-        }
-        fresh
-    });
-    Ok(configs)
-}
-
-/// Renders the overlay table: one row per configuration with its role
-/// (sized baseline vs approximation), quality/energy coordinates, front
-/// membership and — for dominated rows — the dominating config's name.
-fn render_overlay(args: &Args, entries: &[ParetoEntry]) -> String {
-    let rows: Vec<Vec<String>> = entries
-        .iter()
-        .map(|entry| {
-            let dominated_by = entry
-                .verdict
-                .dominated_by
-                .map_or_else(|| "-".to_owned(), |i| entries[i].cell.config.to_string());
-            vec![
-                entry.cell.config.to_string(),
-                family(&entry.cell.config).to_owned(),
-                if entry.sized { "sized" } else { "approx" }.to_owned(),
-                entry.cell.run.score.metric().to_owned(),
-                fmt(entry.sample.quality, 4),
-                fmt(entry.sample.energy, 3),
-                if entry.verdict.on_front { "yes" } else { "no" }.to_owned(),
-                dominated_by,
-            ]
-        })
-        .collect();
-    render(
-        args.format,
-        &[
-            "operator",
-            "family",
-            "role",
-            "metric",
-            "score",
-            "E_app_pJ",
-            "front",
-            "dominated_by",
-        ],
-        &rows,
-    )
-}
+use apx_core::query;
 
 /// `apxperf pareto --workload NAME [--family F|--all]` — overlays the
 /// approximate families against the sized-exact baseline on one
 /// quality–energy plot and reports the strict-dominance front. The
 /// summary counts how many approximate configurations a sized-exact
-/// operator dominates: the paper's "hidden cost", as a number.
+/// operator dominates: the paper's "hidden cost", as a number. The whole
+/// output comes from [`query::pareto_text`] — the same function the
+/// serve daemon answers `POST /pareto` with, so served bodies match this
+/// stdout byte for byte.
 pub(super) fn pareto(args: &Args) -> Result<(), String> {
     let name = args.workload.as_deref().ok_or_else(|| {
         "pareto needs --workload <NAME>, e.g. `apxperf pareto --workload fir --all` \
          (see `apxperf list`)"
             .to_owned()
     })?;
-    let configs = overlay_configs(args)?;
     let cache = args.cache();
-    let (workload, seed) = resolve_workload(args, name)?;
-    let lib = Library::fdsoi28();
-    let entries = workload_pareto(
-        workload.as_ref(),
-        seed,
-        &lib,
-        args.settings(),
-        &configs,
+    let text = query::pareto_text(
+        &Library::fdsoi28(),
+        &args.query_params(),
+        name,
+        args.was_set("family").then_some(args.family.as_str()),
+        args.all,
+        args.format,
         &args.engine(),
         &cache,
-    );
-    println!(
-        "PARETO {} over {} + sized baseline ({} configs)",
-        workload.fingerprint(),
-        if args.all {
-            "`all` families".to_owned()
-        } else {
-            format!("family `{}`", args.family_or("points"))
-        },
-        entries.len()
-    );
-    print!("{}", render_overlay(args, &entries));
-    let front = entries.iter().filter(|e| e.verdict.on_front).count();
-    let sized_dominated = entries
-        .iter()
-        .filter(|e| !e.sized && e.verdict.dominated_by.is_some_and(|i| entries[i].sized))
-        .count();
-    println!(
-        "front: {front} of {} configs; {sized_dominated} approximate configs dominated by the \
-         sized baseline",
-        entries.len()
-    );
+    )?;
+    print!("{text}");
     report_cache_use(&cache);
     Ok(())
 }

@@ -1,68 +1,30 @@
 //! The exploration subcommands: whole-family sweeps, single-operator
 //! reports and report-cache maintenance.
 
-use super::{apps, report_cache_use, reports_for, workload_cells};
+use super::report_cache_use;
 use crate::args::Args;
-use crate::output::{family, render};
 use apx_cells::Library;
-use apx_core::{cache as core_cache, sweeps, Characterizer, OperatorReport};
-use apx_operators::OperatorConfig;
+use apx_core::{cache as core_cache, query};
 
 /// `apxperf sweep` — characterizes one of the registered §IV families
 /// and prints the headline CSV columns of every report; `--workload
 /// <NAME>` scores the named application workload over the same
 /// configurations instead. `--format csv` makes this the bulk-export
-/// path (pipe it into a plotting script).
+/// path (pipe it into a plotting script). The text itself comes from
+/// [`query::sweep_text`] — the same function the serve daemon answers
+/// `POST /sweep` with, so served bodies match this stdout byte for byte.
 pub(super) fn sweep(args: &Args) -> Result<(), String> {
     let cache = args.cache();
-    let Some(sweep_family) = sweeps::find_family(&args.family) else {
-        let names: Vec<&str> = sweeps::FAMILIES.iter().map(|f| f.name).collect();
-        return Err(format!(
-            "--family: `{}` is not one of {}",
-            args.family,
-            names.join(", ")
-        ));
-    };
-    let configs: Vec<OperatorConfig> = (sweep_family.configs)();
-    if let Some(workload_name) = args.workload.clone() {
-        let (workload, cells) = workload_cells(args, &cache, &workload_name, &configs)?;
-        println!(
-            "SWEEP {} over family `{}` ({} configs)",
-            workload.fingerprint(),
-            sweep_family.name,
-            configs.len()
-        );
-        print!("{}", apps::render_workload_table(args, &cells));
-        report_cache_use(&cache);
-        return Ok(());
-    }
-    let reports = reports_for(args, &cache, &configs);
-    // the headline columns of OperatorReport::to_csv_row, cell by cell
-    // (not split from the CSV string — the operator name contains commas)
-    let rows: Vec<Vec<String>> = configs
-        .iter()
-        .zip(&reports)
-        .map(|(config, r)| {
-            vec![
-                family(config).to_owned(),
-                r.name.clone(),
-                r.verified.to_string(),
-                crate::output::fmt(r.error.mse_db, 3),
-                crate::output::fmt(r.error.ber, 6),
-                crate::output::fmt(r.error.mae, 4),
-                crate::output::fmt(r.error.mean_error, 4),
-                crate::output::fmt(r.error.error_rate, 6),
-                crate::output::fmt(r.hw.area_um2, 2),
-                crate::output::fmt(r.hw.delay_ns, 4),
-                crate::output::fmt(r.hw.power_mw, 5),
-                crate::output::fmt(r.hw.pdp_pj, 6),
-            ]
-        })
-        .collect();
-    let mut headers = vec!["family"];
-    let header_row = OperatorReport::csv_header();
-    headers.extend(header_row.split(','));
-    print!("{}", render(args.format, &headers, &rows));
+    let text = query::sweep_text(
+        &Library::fdsoi28(),
+        &args.query_params(),
+        &args.family,
+        args.workload.as_deref(),
+        args.format,
+        &args.engine(),
+        &cache,
+    )?;
+    print!("{text}");
     report_cache_use(&cache);
     Ok(())
 }
@@ -71,24 +33,23 @@ pub(super) fn sweep(args: &Args) -> Result<(), String> {
 /// paper notation (e.g. `ADDt(16,10)`, `ACA(16,4)`, `RCAApx(16,6,3)`)
 /// and prints the **full** fused report as pretty JSON: every error
 /// metric (positional BER, acceptance probabilities), the hardware
-/// record and the verification verdict.
+/// record and the verification verdict. The JSON comes from
+/// [`query::report_text`] — the exact bytes `GET /report/<CONFIG>`
+/// serves.
 pub(super) fn report(args: &Args) -> Result<(), String> {
     let spec = args
         .positional
         .first()
         .ok_or_else(|| "expected an operator, e.g. `apxperf report \"ACA(16,4)\"`".to_owned())?;
-    let config: OperatorConfig = spec.parse().map_err(|e| format!("{e}"))?;
     let cache = args.cache();
-    let lib = Library::fdsoi28();
-    let report = Characterizer::new(&lib)
-        .with_settings(args.settings())
-        .with_engine(args.engine())
-        .with_cache(cache.clone())
-        .characterize(&config);
-    let json = report
-        .to_json()
-        .map_err(|e| format!("report serialization failed: {e}"))?;
-    println!("{json}");
+    let (text, _hit) = query::report_text(
+        &Library::fdsoi28(),
+        &args.query_params(),
+        spec,
+        &args.engine(),
+        &cache,
+    )?;
+    print!("{text}");
     report_cache_use(&cache);
     Ok(())
 }

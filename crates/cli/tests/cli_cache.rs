@@ -204,6 +204,7 @@ fn every_subcommand_has_uniform_help() {
         "sweep",
         "report",
         "cache",
+        "serve",
     ] {
         assert!(global_text.contains(name), "global help misses {name}");
         let help = run(&[name, "--help"]);

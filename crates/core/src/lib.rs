@@ -75,7 +75,9 @@
 pub mod appenergy;
 pub mod cache;
 mod characterizer;
+pub mod output;
 pub mod pareto;
+pub mod query;
 mod report;
 pub mod sweeps;
 pub mod tune;

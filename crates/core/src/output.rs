@@ -1,0 +1,267 @@
+//! Table rendering shared by every result consumer — the `apxperf` CLI
+//! and the `apx_serve` daemon render through the same code, so a served
+//! response is byte-identical to the corresponding CLI stdout by
+//! construction: aligned TTY tables, CSV and JSON from one
+//! (headers, rows) representation, plus the small formatting helpers the
+//! old per-binary copies used to duplicate.
+
+use apx_operators::OperatorConfig;
+
+/// Table-output format selected by `--format` (or the `format` field of
+/// a server request body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Aligned human-readable table (the CLI default).
+    #[default]
+    Tty,
+    /// One JSON array of row objects.
+    Json,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+impl Format {
+    /// Parses a `--format` value. The error text is shared by the CLI
+    /// parser and the server's request validation.
+    ///
+    /// # Errors
+    /// When `value` is not `json`, `csv` or `tty`.
+    pub fn parse(value: &str) -> Result<Format, String> {
+        match value {
+            "tty" => Ok(Format::Tty),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(format!("--format: `{other}` is not json, csv or tty")),
+        }
+    }
+}
+
+/// Formats a float compactly for table cells (`-inf`/`inf` spelled out).
+#[must_use]
+pub fn fmt(v: f64, decimals: usize) -> String {
+    if v == f64::NEG_INFINITY {
+        "-inf".to_owned()
+    } else if v == f64::INFINITY {
+        "inf".to_owned()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+/// Family tag of an operator configuration — matches the legend of
+/// Figs. 3–6.
+#[must_use]
+pub fn family(config: &OperatorConfig) -> &'static str {
+    match config {
+        OperatorConfig::AddExact { .. } => "FxP-exact",
+        OperatorConfig::AddTrunc { .. } => "FxP-trunc",
+        OperatorConfig::AddRound { .. } => "FxP-round",
+        OperatorConfig::Aca { .. } => "ACA",
+        OperatorConfig::EtaIv { .. } => "ETAIV",
+        OperatorConfig::EtaIi { .. } => "ETAII",
+        OperatorConfig::RcaApx { fa_type, .. } => match fa_type {
+            apx_operators::FaType::One => "RCAApx-1",
+            apx_operators::FaType::Two => "RCAApx-2",
+            apx_operators::FaType::Three => "RCAApx-3",
+        },
+        OperatorConfig::AddSized { .. } => "FxP-sized",
+        OperatorConfig::MulSized { .. } => "MUL-sized",
+        OperatorConfig::MulExact { .. } | OperatorConfig::MulBooth { .. } => "MUL-exact",
+        OperatorConfig::MulTrunc { .. } => "MULt",
+        OperatorConfig::MulRound { .. } => "MULr",
+        OperatorConfig::Aam { .. } => "AAM",
+        OperatorConfig::Abm { .. } => "ABM",
+        OperatorConfig::AbmUncorrected { .. } => "ABMu",
+    }
+}
+
+/// Renders one result table in the selected format:
+///
+/// * [`Format::Tty`] — right-aligned columns under a dashed header;
+/// * [`Format::Csv`] — a header row plus comma-joined rows (cells
+///   containing commas or quotes are quoted);
+/// * [`Format::Json`] — an array of `{header: cell}` objects.
+#[must_use]
+pub fn render(format: Format, headers: &[&str], rows: &[Vec<String>]) -> String {
+    match format {
+        Format::Tty => render_tty(headers, rows),
+        Format::Csv => render_csv(headers, rows),
+        Format::Json => render_json(headers, rows),
+    }
+}
+
+fn render_tty(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        padded.join("  ")
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&line(&header_cells));
+    out.push('\n');
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&line(&dashes));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_cell(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn render_json(headers: &[&str], rows: &[Vec<String>]) -> String {
+    // build a Vec of (header -> cell) maps through the serde value model
+    // so escaping stays in one place (the vendored serde_json writer)
+    let objects: Vec<Vec<(String, String)>> = rows
+        .iter()
+        .map(|row| {
+            headers
+                .iter()
+                .zip(row)
+                .map(|(h, c)| ((*h).to_owned(), c.clone()))
+                .collect()
+        })
+        .collect();
+    let value = serde::Value::Array(
+        objects
+            .into_iter()
+            .map(|fields| {
+                serde::Value::Object(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k, serde::Value::String(v)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    let mut text = serde_json::to_string_pretty(&value).expect("JSON rendering is infallible");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<&'static str>, Vec<Vec<String>>) {
+        (
+            vec!["name", "x"],
+            vec![
+                vec!["a,b".to_owned(), "1".to_owned()],
+                vec!["c".to_owned(), "2".to_owned()],
+            ],
+        )
+    }
+
+    #[test]
+    fn tty_aligns_columns() {
+        let (headers, rows) = sample();
+        let text = render(Format::Tty, &headers, &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // right-aligned: every line has the same width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_commas() {
+        let (headers, rows) = sample();
+        let text = render(Format::Csv, &headers, &rows);
+        assert_eq!(text.lines().next(), Some("name,x"));
+        assert!(text.contains("\"a,b\",1"));
+        assert!(text.contains("c,2"));
+    }
+
+    #[test]
+    fn json_is_an_array_of_objects() {
+        let (headers, rows) = sample();
+        let text = render(Format::Json, &headers, &rows);
+        let parsed: Vec<Vec<(String, String)>> = {
+            // reuse the vendored parser through the Value model
+            let value: serde::Value = serde_json::from_str(&text).unwrap();
+            match value {
+                serde::Value::Array(items) => items
+                    .into_iter()
+                    .map(|item| match item {
+                        serde::Value::Object(fields) => fields
+                            .into_iter()
+                            .map(|(k, v)| (k, v.as_str().unwrap().to_owned()))
+                            .collect(),
+                        other => panic!("expected object, got {other:?}"),
+                    })
+                    .collect(),
+                other => panic!("expected array, got {other:?}"),
+            }
+        };
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0][0], ("name".to_owned(), "a,b".to_owned()));
+    }
+
+    #[test]
+    fn fmt_handles_infinities() {
+        assert_eq!(fmt(f64::INFINITY, 2), "inf");
+        assert_eq!(fmt(f64::NEG_INFINITY, 2), "-inf");
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn format_parse_matches_the_cli_contract() {
+        assert_eq!(Format::parse("tty"), Ok(Format::Tty));
+        assert_eq!(Format::parse("json"), Ok(Format::Json));
+        assert_eq!(Format::parse("csv"), Ok(Format::Csv));
+        let err = Format::parse("xml").unwrap_err();
+        assert!(err.contains("json, csv or tty"), "{err}");
+    }
+
+    #[test]
+    fn family_tags_cover_the_sweeps() {
+        for config in crate::sweeps::all_adders_16bit()
+            .into_iter()
+            .chain(crate::sweeps::multipliers_16bit())
+        {
+            assert!(!family(&config).is_empty());
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Serving-grade query entry points — the report / family-sweep /
+//! Pareto-overlay queries as pure `inputs -> rendered text` functions.
+//!
+//! The `apxperf` CLI and the `apx_serve` daemon are both thin clients of
+//! this module: a subcommand prints the returned string to stdout, the
+//! server sends the same string as an HTTP response body. Because both
+//! go through the very same functions, a served response is
+//! **byte-identical** to the corresponding CLI stdout by construction —
+//! the property the serve e2e suite pins.
+//!
+//! [`QueryParams`] mirrors the shared CLI flags (`--samples`,
+//! `--vectors`, `--seed`, `--size`, `--sets`, `--points`) with the same
+//! defaults, and [`QueryParams::settings`] applies the repro preset
+//! (2 000 verification vectors, exhaustive up to 16 operand bits) that
+//! every CLI run uses.
+
+use crate::appenergy::{self, WorkloadCell};
+use crate::output::{family, fmt, render, Format};
+use crate::pareto::{workload_pareto, ParetoEntry};
+use crate::{cache as core_cache, sweeps, Characterizer, CharacterizerSettings, OperatorReport};
+use apx_apps::{Workload, WorkloadParams};
+use apx_cache::Cache;
+use apx_cells::Library;
+use apx_engine::Engine;
+use apx_operators::OperatorConfig;
+
+/// The master seed every run defaults to (the CLI's `--seed` default).
+pub const DEFAULT_SEED: u64 = 0xDA7E_2017;
+
+/// Verification vectors used by all CLI/server runs (the repro preset).
+pub const VERIFY_SAMPLES: usize = 2_000;
+
+/// Exhaustive-verification bound used by all CLI/server runs.
+pub const EXHAUSTIVE_UP_TO_BITS: u32 = 16;
+
+/// The shared query parameters: one struct mirroring the CLI flag
+/// defaults, so the CLI and the server resolve identical inputs to
+/// identical [`CharacterizerSettings`] (and therefore identical cache
+/// keys and identical bytes out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryParams {
+    /// Error-characterization samples per operator (`--samples`).
+    pub samples: usize,
+    /// Gate-level power-estimation vectors per operator (`--vectors`).
+    pub vectors: usize,
+    /// Master seed; `None` means "not explicitly set" — settings fall
+    /// back to [`DEFAULT_SEED`] and workload runs fall back to the
+    /// workload's own fixture seed, exactly like the CLI's `--seed`.
+    pub seed: Option<u64>,
+    /// Workload size where applicable (`--size`).
+    pub size: usize,
+    /// K-means data sets (`--sets`).
+    pub sets: usize,
+    /// K-means points per set (`--points`).
+    pub points: usize,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            samples: 100_000,
+            vectors: 1_500,
+            seed: None,
+            size: 128,
+            sets: 5,
+            points: 500,
+        }
+    }
+}
+
+impl QueryParams {
+    /// The characterizer settings these parameters select (the repro
+    /// preset the CLI has always used).
+    #[must_use]
+    pub fn settings(&self) -> CharacterizerSettings {
+        CharacterizerSettings {
+            error_samples: self.samples,
+            verify_samples: VERIFY_SAMPLES,
+            exhaustive_up_to_bits: EXHAUSTIVE_UP_TO_BITS,
+            power_vectors: self.vectors,
+            seed: self.seed.unwrap_or(DEFAULT_SEED),
+        }
+    }
+
+    /// The workload-shaping parameters (`--size`/`--sets`/`--points`).
+    #[must_use]
+    pub fn workload_params(&self) -> WorkloadParams {
+        WorkloadParams {
+            size: self.size,
+            sets: self.sets,
+            points: self.points,
+        }
+    }
+}
+
+/// Resolves a workload name against the registry, builds the instance
+/// from the shared parameters, and picks its legacy fixture seed unless
+/// a seed was given explicitly — the common front half of every
+/// workload-scoring query.
+///
+/// # Errors
+/// An unknown name, or a constructor rejection (e.g. a size constraint),
+/// as a user-facing message.
+pub fn resolve_workload(
+    params: &QueryParams,
+    name: &str,
+) -> Result<(Box<dyn Workload>, u64), String> {
+    let entry = apx_apps::workload::find(name)
+        .ok_or_else(|| format!("unknown workload `{name}` — see `apxperf list`"))?;
+    let workload = (entry.build)(&params.workload_params())?;
+    let seed = params.seed.unwrap_or_else(|| workload.default_seed());
+    Ok((workload, seed))
+}
+
+/// One cached single-operator characterization: content-addressed lookup
+/// ([`core_cache::report_cache_key`]) with the collision guard, falling
+/// back to a full characterization plus write-back on a miss. Returns
+/// the report and whether it was served from the cache — the signal the
+/// server's `/stats` hit/miss counters are built on. Counter traffic on
+/// the `cache` handle is identical to the CLI's historical
+/// `Characterizer::with_cache` path.
+#[must_use]
+pub fn cached_report(
+    lib: &Library,
+    settings: CharacterizerSettings,
+    config: &OperatorConfig,
+    engine: &Engine,
+    cache: &Cache,
+) -> (OperatorReport, bool) {
+    let key = core_cache::report_cache_key(lib, &settings, config);
+    if let Some(report) = cache.get::<OperatorReport>(&key) {
+        // collision guard: only serve a report describing this config
+        if report.config == *config {
+            return (report, true);
+        }
+    }
+    let report = Characterizer::new(lib)
+        .with_settings(settings)
+        .with_engine(engine.clone())
+        .characterize(config);
+    cache.put(&key, &report);
+    (report, false)
+}
+
+/// The `report <CONFIG>` query: parse the paper notation, characterize
+/// (through the cache), and render the full fused report as pretty JSON
+/// plus a trailing newline — exactly the bytes `apxperf report` prints.
+/// The boolean is the [`cached_report`] hit flag.
+///
+/// # Errors
+/// Invalid operator notation, or (never in practice) a serialization
+/// failure.
+pub fn report_text(
+    lib: &Library,
+    params: &QueryParams,
+    spec: &str,
+    engine: &Engine,
+    cache: &Cache,
+) -> Result<(String, bool), String> {
+    let config: OperatorConfig = spec.parse().map_err(|e| format!("{e}"))?;
+    let (report, hit) = cached_report(lib, params.settings(), &config, engine, cache);
+    let json = report
+        .to_json()
+        .map_err(|e| format!("report serialization failed: {e}"))?;
+    Ok((format!("{json}\n"), hit))
+}
+
+/// The uniform workload result table shared by `app`, `sweep --workload`
+/// and the server's sweep jobs: the unified score with its metric kind,
+/// the kind-free exact-relative degradation, and the eq. (1) energy
+/// split.
+#[must_use]
+pub fn workload_table(format: Format, cells: &[WorkloadCell]) -> String {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.config.to_string(),
+                family(&cell.config).to_owned(),
+                cell.run.score.metric().to_owned(),
+                fmt(cell.run.score.value(), 4),
+                fmt(cell.run.score.degradation(), 6),
+                fmt(cell.model.adder_pdp_pj * 1e3, 3),
+                fmt(cell.model.mult_pdp_pj * 1e3, 3),
+                fmt(cell.model.energy_pj(cell.run.counts), 3),
+            ]
+        })
+        .collect();
+    render(
+        format,
+        &[
+            "operator",
+            "family",
+            "metric",
+            "score",
+            "degradation",
+            "E_add_fJ",
+            "E_mul_fJ",
+            "E_app_pJ",
+        ],
+        &rows,
+    )
+}
+
+/// The `sweep` query: characterize one registered §IV family and render
+/// the headline columns of every report; with `workload`, score the
+/// named application workload over the same configurations instead
+/// (including the `SWEEP …` header line). The returned string is exactly
+/// the stdout of the corresponding `apxperf sweep` invocation.
+///
+/// # Errors
+/// An unknown family or workload name, as a user-facing message.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_text(
+    lib: &Library,
+    params: &QueryParams,
+    family_name: &str,
+    workload_name: Option<&str>,
+    format: Format,
+    engine: &Engine,
+    cache: &Cache,
+) -> Result<String, String> {
+    let Some(sweep_family) = sweeps::find_family(family_name) else {
+        let names: Vec<&str> = sweeps::FAMILIES.iter().map(|f| f.name).collect();
+        return Err(format!(
+            "--family: `{family_name}` is not one of {}",
+            names.join(", ")
+        ));
+    };
+    let configs: Vec<OperatorConfig> = (sweep_family.configs)();
+    if let Some(name) = workload_name {
+        let (workload, seed) = resolve_workload(params, name)?;
+        let cells = appenergy::sweep_workload_cached(
+            workload.as_ref(),
+            seed,
+            lib,
+            params.settings(),
+            &configs,
+            engine,
+            cache,
+        );
+        let mut text = format!(
+            "SWEEP {} over family `{}` ({} configs)\n",
+            workload.fingerprint(),
+            sweep_family.name,
+            configs.len()
+        );
+        text.push_str(&workload_table(format, &cells));
+        return Ok(text);
+    }
+    let reports = sweeps::characterize_all_cached(lib, params.settings(), &configs, engine, cache);
+    // the headline columns of OperatorReport::to_csv_row, cell by cell
+    // (not split from the CSV string — the operator name contains commas)
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&reports)
+        .map(|(config, r)| {
+            vec![
+                family(config).to_owned(),
+                r.name.clone(),
+                r.verified.to_string(),
+                fmt(r.error.mse_db, 3),
+                fmt(r.error.ber, 6),
+                fmt(r.error.mae, 4),
+                fmt(r.error.mean_error, 4),
+                fmt(r.error.error_rate, 6),
+                fmt(r.hw.area_um2, 2),
+                fmt(r.hw.delay_ns, 4),
+                fmt(r.hw.power_mw, 5),
+                fmt(r.hw.pdp_pj, 6),
+            ]
+        })
+        .collect();
+    let mut headers = vec!["family"];
+    let header_row = OperatorReport::csv_header();
+    headers.extend(header_row.split(','));
+    Ok(render(format, &headers, &rows))
+}
+
+/// Assembles the Pareto-overlay configuration list: the selected
+/// approximate family (or everything under `all`) plus the full Sized
+/// baseline, first occurrence winning on duplicates (the exact operators
+/// belong to both sides).
+fn overlay_configs(family_name: Option<&str>, all: bool) -> Result<Vec<OperatorConfig>, String> {
+    if all && family_name.is_some() {
+        return Err("--family and --all are mutually exclusive".to_owned());
+    }
+    let selected = if all {
+        "all"
+    } else {
+        family_name.unwrap_or("points")
+    };
+    let sweep_family = sweeps::find_family(selected).ok_or_else(|| {
+        format!("--family: `{selected}` is not a registered family — see `apxperf list`")
+    })?;
+    let mut configs = (sweep_family.configs)();
+    configs.extend(sweeps::sized_baseline_16bit());
+    let mut seen = Vec::with_capacity(configs.len());
+    configs.retain(|config| {
+        let fresh = !seen.contains(config);
+        if fresh {
+            seen.push(*config);
+        }
+        fresh
+    });
+    Ok(configs)
+}
+
+/// Renders the overlay table: one row per configuration with its role
+/// (sized baseline vs approximation), quality/energy coordinates, front
+/// membership and — for dominated rows — the dominating config's name.
+fn render_overlay(format: Format, entries: &[ParetoEntry]) -> String {
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|entry| {
+            let dominated_by = entry
+                .verdict
+                .dominated_by
+                .map_or_else(|| "-".to_owned(), |i| entries[i].cell.config.to_string());
+            vec![
+                entry.cell.config.to_string(),
+                family(&entry.cell.config).to_owned(),
+                if entry.sized { "sized" } else { "approx" }.to_owned(),
+                entry.cell.run.score.metric().to_owned(),
+                fmt(entry.sample.quality, 4),
+                fmt(entry.sample.energy, 3),
+                if entry.verdict.on_front { "yes" } else { "no" }.to_owned(),
+                dominated_by,
+            ]
+        })
+        .collect();
+    render(
+        format,
+        &[
+            "operator",
+            "family",
+            "role",
+            "metric",
+            "score",
+            "E_app_pJ",
+            "front",
+            "dominated_by",
+        ],
+        &rows,
+    )
+}
+
+/// The `pareto` query: overlay the approximate families against the
+/// sized-exact baseline on one quality–energy plot and report the
+/// strict-dominance front, exactly as `apxperf pareto` prints it —
+/// header line, overlay table, and the `front: …` summary counting the
+/// paper's "hidden cost". `family_name` is the explicitly selected
+/// family (`None` defaults to `points`), mutually exclusive with `all`.
+///
+/// # Errors
+/// An unknown family or workload name, or `family` combined with `all`.
+#[allow(clippy::too_many_arguments)]
+pub fn pareto_text(
+    lib: &Library,
+    params: &QueryParams,
+    workload_name: &str,
+    family_name: Option<&str>,
+    all: bool,
+    format: Format,
+    engine: &Engine,
+    cache: &Cache,
+) -> Result<String, String> {
+    let configs = overlay_configs(family_name, all)?;
+    let (workload, seed) = resolve_workload(params, workload_name)?;
+    let entries = workload_pareto(
+        workload.as_ref(),
+        seed,
+        lib,
+        params.settings(),
+        &configs,
+        engine,
+        cache,
+    );
+    let mut text = format!(
+        "PARETO {} over {} + sized baseline ({} configs)\n",
+        workload.fingerprint(),
+        if all {
+            "`all` families".to_owned()
+        } else {
+            format!("family `{}`", family_name.unwrap_or("points"))
+        },
+        entries.len()
+    );
+    text.push_str(&render_overlay(format, &entries));
+    let front = entries.iter().filter(|e| e.verdict.on_front).count();
+    let sized_dominated = entries
+        .iter()
+        .filter(|e| !e.sized && e.verdict.dominated_by.is_some_and(|i| entries[i].sized))
+        .count();
+    text.push_str(&format!(
+        "front: {front} of {} configs; {sized_dominated} approximate configs dominated by the \
+         sized baseline\n",
+        entries.len()
+    ));
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> QueryParams {
+        QueryParams {
+            samples: 400,
+            vectors: 20,
+            ..QueryParams::default()
+        }
+    }
+
+    #[test]
+    fn default_params_mirror_the_cli_defaults() {
+        let params = QueryParams::default();
+        assert_eq!(params.samples, 100_000);
+        assert_eq!(params.vectors, 1_500);
+        assert_eq!(params.seed, None);
+        let settings = params.settings();
+        assert_eq!(settings.seed, DEFAULT_SEED);
+        assert_eq!(settings.verify_samples, VERIFY_SAMPLES);
+        assert_eq!(settings.exhaustive_up_to_bits, EXHAUSTIVE_UP_TO_BITS);
+    }
+
+    #[test]
+    fn report_text_is_deterministic_and_cache_transparent() {
+        let lib = Library::fdsoi28();
+        let engine = Engine::new(2);
+        let params = small();
+        let (cold, hit_cold) =
+            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::disabled()).unwrap();
+        assert!(!hit_cold);
+        assert!(cold.ends_with('\n'));
+        let (again, _) =
+            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::disabled()).unwrap();
+        assert_eq!(cold, again, "pure function of its inputs");
+        let err = report_text(&lib, &params, "FROB(16)", &engine, &Cache::disabled()).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn cached_report_hits_on_the_second_lookup() {
+        let dir = std::env::temp_dir().join(format!("apx_query_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Cache::at(&dir);
+        let lib = Library::fdsoi28();
+        let engine = Engine::new(2);
+        let config: OperatorConfig = "ACA(8,2)".parse().unwrap();
+        let (first, hit1) = cached_report(&lib, small().settings(), &config, &engine, &cache);
+        let (second, hit2) = cached_report(&lib, small().settings(), &config, &engine, &cache);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first.to_json().unwrap(), second.to_json().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_names_are_user_facing_errors() {
+        let lib = Library::fdsoi28();
+        let engine = Engine::new(1);
+        let params = small();
+        let cache = Cache::disabled();
+        let err =
+            sweep_text(&lib, &params, "nope", None, Format::Tty, &engine, &cache).unwrap_err();
+        assert!(err.contains("is not one of"), "{err}");
+        let err = sweep_text(
+            &lib,
+            &params,
+            "points",
+            Some("nope"),
+            Format::Tty,
+            &engine,
+            &cache,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        let err = pareto_text(
+            &lib,
+            &params,
+            "fir",
+            Some("points"),
+            true,
+            Format::Tty,
+            &engine,
+            &cache,
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = resolve_workload(&params, "nope").unwrap_err();
+        assert!(err.contains("see `apxperf list`"), "{err}");
+    }
+}

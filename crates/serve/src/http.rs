@@ -1,0 +1,197 @@
+//! A deliberately minimal HTTP/1.1 implementation over std
+//! [`TcpStream`] — just enough protocol for the characterization
+//! service: request line + headers + optional `Content-Length` body in,
+//! status + JSON body out, `Connection: close` on every response (one
+//! request per connection keeps the concurrency model trivial to reason
+//! about, which is the point of a hand-rolled server).
+//!
+//! Hard limits keep a misbehaving client from holding memory hostage:
+//! 16 KiB of request head, 1 MiB of body. Anything malformed is an
+//! `Err(String)` the connection handler turns into a structured 400.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum bytes of request body.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: String,
+}
+
+/// Percent-decodes one URL component (`%28` → `(`); invalid escapes are
+/// kept literally, and `+` is left alone (operator notation never
+/// contains spaces).
+#[must_use]
+pub fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3);
+            if let Some(byte) = hex
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                out.push(byte);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Reads and parses one request from `stream`. Read timeouts, oversized
+/// heads/bodies and malformed framing all come back as `Err` with a
+/// user-facing message.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head exceeds 16 KiB".to_owned());
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_owned());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_owned())?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| "request line lacks a target".to_owned())?;
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid Content-Length".to_owned())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body exceeds 1 MiB".to_owned());
+    }
+    let mut body_bytes: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_owned());
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (percent_decode(p), parse_query(q)),
+        None => (percent_decode(target), Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes it. The connection is always
+/// marked `Connection: close`; the handler drops the stream afterwards.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_roundtrips_operator_notation() {
+        assert_eq!(percent_decode("ACA%2816%2C4%29"), "ACA(16,4)");
+        assert_eq!(percent_decode("ACA(16,4)"), "ACA(16,4)");
+        assert_eq!(percent_decode("a%zz"), "a%zz", "invalid escapes survive");
+    }
+
+    #[test]
+    fn query_strings_parse_in_order() {
+        let pairs = parse_query("samples=2000&vectors=100&flag");
+        assert_eq!(
+            pairs,
+            vec![
+                ("samples".to_owned(), "2000".to_owned()),
+                ("vectors".to_owned(), "100".to_owned()),
+                ("flag".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! The bounded asynchronous job queue behind `POST /sweep` and
+//! `POST /pareto`: cold family sweeps take seconds to minutes, far too
+//! long to hold an HTTP connection open, so they are accepted as `202 +
+//! job id` and polled via `GET /job/<id>`. The queue is **bounded** —
+//! when `capacity` jobs are already waiting, further submissions are
+//! rejected with a 503 (and counted) instead of growing without limit.
+//!
+//! Shutdown semantics (the "drain" the graceful-shutdown contract asks
+//! for): [`JobQueue::close`] stops accepting work, the worker finishes
+//! every job that is already running or queued, and then exits — nothing
+//! accepted is ever silently dropped.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// The deferred computation of one job.
+pub type Job = Box<dyn FnOnce() -> Result<String, String> + Send>;
+
+/// Lifecycle of one accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for the worker.
+    Queued,
+    /// Currently computing.
+    Running,
+    /// Finished successfully; the result body is available.
+    Done,
+    /// Finished with an error (or the job panicked).
+    Failed,
+}
+
+impl JobStatus {
+    /// The status as it appears in `/job/<id>` JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// A point-in-time view of one job, as served by `GET /job/<id>`.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Human-readable description of what was submitted.
+    pub label: String,
+    /// The rendered body (only when [`JobStatus::Done`]).
+    pub result: Option<String>,
+    /// The failure message (only when [`JobStatus::Failed`]).
+    pub error: Option<String>,
+}
+
+#[derive(Debug)]
+struct Record {
+    status: JobStatus,
+    label: String,
+    result: Option<String>,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<(u64, Job)>,
+    records: HashMap<u64, Record>,
+    next_id: u64,
+    running: usize,
+    done: u64,
+    failed: u64,
+    closed: bool,
+}
+
+/// Aggregate counters for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs waiting for the worker (the queue depth).
+    pub queued: usize,
+    /// Jobs currently computing (0 or 1 — one worker).
+    pub running: usize,
+    /// Jobs finished successfully since startup.
+    pub done: u64,
+    /// Jobs finished with an error since startup.
+    pub failed: u64,
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Accepted under this job id.
+    Accepted(u64),
+    /// The queue is at capacity (or closing) — the caller turns this
+    /// into a 503.
+    Rejected,
+}
+
+/// The bounded queue. One [`JobQueue::worker`] thread drains it.
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity,
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Submits a job. Rejected when `capacity` jobs are already waiting
+    /// or the queue is closing.
+    pub fn enqueue(&self, label: String, job: Job) -> Enqueue {
+        let mut state = self.state.lock().expect("job queue lock poisoned");
+        if state.closed || state.queue.len() >= self.capacity {
+            return Enqueue::Rejected;
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.records.insert(
+            id,
+            Record {
+                status: JobStatus::Queued,
+                label,
+                result: None,
+                error: None,
+            },
+        );
+        state.queue.push_back((id, job));
+        drop(state);
+        self.wake.notify_one();
+        Enqueue::Accepted(id)
+    }
+
+    /// A snapshot of one job, or `None` for an unknown id.
+    #[must_use]
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let state = self.state.lock().expect("job queue lock poisoned");
+        state.records.get(&id).map(|r| JobSnapshot {
+            status: r.status,
+            label: r.label.clone(),
+            result: r.result.clone(),
+            error: r.error.clone(),
+        })
+    }
+
+    /// Aggregate counters for `/stats`.
+    #[must_use]
+    pub fn counts(&self) -> JobCounts {
+        let state = self.state.lock().expect("job queue lock poisoned");
+        JobCounts {
+            queued: state.queue.len(),
+            running: state.running,
+            done: state.done,
+            failed: state.failed,
+        }
+    }
+
+    /// Stops accepting submissions and wakes the worker so it can drain
+    /// what remains and exit.
+    pub fn close(&self) {
+        self.state.lock().expect("job queue lock poisoned").closed = true;
+        self.wake.notify_all();
+    }
+
+    /// The worker loop: runs jobs in submission order until the queue is
+    /// closed **and** fully drained. Call from a dedicated thread.
+    pub fn worker(&self) {
+        loop {
+            let (id, job) = {
+                let mut state = self.state.lock().expect("job queue lock poisoned");
+                loop {
+                    if let Some(next) = state.queue.pop_front() {
+                        state.running += 1;
+                        if let Some(record) = state.records.get_mut(&next.0) {
+                            record.status = JobStatus::Running;
+                        }
+                        break next;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                    state = self.wake.wait(state).expect("job queue lock poisoned");
+                }
+            };
+            // panics inside a job must fail that job, not kill the worker
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                .unwrap_or_else(|_| Err("job panicked".to_owned()));
+            let mut state = self.state.lock().expect("job queue lock poisoned");
+            state.running -= 1;
+            match outcome {
+                Ok(body) => {
+                    state.done += 1;
+                    if let Some(record) = state.records.get_mut(&id) {
+                        record.status = JobStatus::Done;
+                        record.result = Some(body);
+                    }
+                }
+                Err(message) => {
+                    state.failed += 1;
+                    if let Some(record) = state.records.get_mut(&id) {
+                        record.status = JobStatus::Failed;
+                        record.error = Some(message);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn job(body: &str) -> Job {
+        let body = body.to_owned();
+        Box::new(move || Ok(body))
+    }
+
+    #[test]
+    fn jobs_run_in_order_and_results_are_polled() {
+        let queue = Arc::new(JobQueue::new(8));
+        let a = queue.enqueue("a".to_owned(), job("A"));
+        let b = queue.enqueue("b".to_owned(), job("B"));
+        let (Enqueue::Accepted(a), Enqueue::Accepted(b)) = (a, b) else {
+            panic!("both must be accepted");
+        };
+        queue.close();
+        queue.worker();
+        assert_eq!(queue.snapshot(a).unwrap().result.as_deref(), Some("A"));
+        assert_eq!(queue.snapshot(b).unwrap().result.as_deref(), Some("B"));
+        assert_eq!(queue.snapshot(a).unwrap().status, JobStatus::Done);
+        assert_eq!(queue.counts().done, 2);
+        assert!(queue.snapshot(99).is_none());
+    }
+
+    #[test]
+    fn the_queue_is_bounded_and_rejections_do_not_block() {
+        let queue = JobQueue::new(2);
+        assert!(matches!(
+            queue.enqueue("1".to_owned(), job("1")),
+            Enqueue::Accepted(_)
+        ));
+        assert!(matches!(
+            queue.enqueue("2".to_owned(), job("2")),
+            Enqueue::Accepted(_)
+        ));
+        assert_eq!(queue.enqueue("3".to_owned(), job("3")), Enqueue::Rejected);
+        assert_eq!(queue.counts().queued, 2);
+    }
+
+    #[test]
+    fn close_drains_queued_jobs_before_the_worker_exits() {
+        let queue = Arc::new(JobQueue::new(8));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let ran = Arc::clone(&ran);
+            let accepted = queue.enqueue(
+                "drain".to_owned(),
+                Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    Ok(String::new())
+                }),
+            );
+            assert!(matches!(accepted, Enqueue::Accepted(_)));
+        }
+        let worker = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.worker())
+        };
+        queue.close();
+        assert_eq!(
+            queue.enqueue("late".to_owned(), job("x")),
+            Enqueue::Rejected
+        );
+        worker.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "every accepted job ran");
+    }
+
+    #[test]
+    fn failures_and_panics_are_contained() {
+        let queue = JobQueue::new(8);
+        let Enqueue::Accepted(bad) =
+            queue.enqueue("bad".to_owned(), Box::new(|| Err("boom".to_owned())))
+        else {
+            panic!("accepted");
+        };
+        let Enqueue::Accepted(worse) =
+            queue.enqueue("worse".to_owned(), Box::new(|| panic!("kaboom")))
+        else {
+            panic!("accepted");
+        };
+        let Enqueue::Accepted(fine) = queue.enqueue("fine".to_owned(), job("ok")) else {
+            panic!("accepted");
+        };
+        queue.close();
+        queue.worker();
+        assert_eq!(queue.snapshot(bad).unwrap().status, JobStatus::Failed);
+        assert_eq!(queue.snapshot(bad).unwrap().error.as_deref(), Some("boom"));
+        assert_eq!(queue.snapshot(worse).unwrap().status, JobStatus::Failed);
+        assert_eq!(queue.snapshot(fine).unwrap().status, JobStatus::Done);
+        assert_eq!(queue.counts().failed, 2);
+        assert_eq!(queue.counts().done, 1);
+    }
+}

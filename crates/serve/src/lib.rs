@@ -1,0 +1,39 @@
+//! Characterization-as-a-service: `apxperf serve` exposes the library
+//! over a hand-rolled HTTP/1.1 + JSON protocol on a plain
+//! [`std::net::TcpListener`] — no async runtime, no HTTP framework.
+//!
+//! The protocol mirrors the CLI one-to-one, and the contract is
+//! **byte-identity**: a `GET /report/<CONFIG>` body is exactly the
+//! stdout of `apxperf report <CONFIG> --format json`, and a finished
+//! `POST /sweep` / `POST /pareto` job result is exactly the stdout of
+//! the corresponding CLI invocation. Both sides render through the same
+//! [`apx_core::query`] layer, so the identity holds by construction.
+//!
+//! | Endpoint | Semantics |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /stats` | service counters (hits / misses / coalesced / …) |
+//! | `GET /report/<CONFIG>` | one operator report, single-flighted |
+//! | `POST /sweep` | enqueue a family sweep → `202` + job id |
+//! | `POST /pareto` | enqueue a Pareto query → `202` + job id |
+//! | `GET /job/<id>` | poll a job |
+//! | `GET /job/<id>/result` | fetch a finished job's body |
+//! | `POST /shutdown` | request a graceful drain |
+//!
+//! Concurrency machinery, each piece its own module:
+//! [`singleflight`] coalesces identical in-flight reports (keyed by the
+//! content-addressed cache keys), [`jobs`] is the bounded queue behind
+//! the `202` endpoints, [`stats`] holds the lock-free counters, and
+//! [`signal`] turns SIGINT/SIGTERM into a graceful drain.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod signal;
+pub mod singleflight;
+pub mod stats;
+
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,833 @@
+//! The daemon proper: bind, accept loop, request routing and the
+//! endpoint handlers. One thread per connection (requests are
+//! short-lived: either a cache lookup, a single-flight wait, or a job
+//! submission), the engine's work-stealing pool underneath each
+//! computation, and a scoped-thread barrier as the graceful-shutdown
+//! drain — `run` returns only after every in-flight connection and every
+//! accepted job has finished.
+
+use crate::http::{self, Request};
+use crate::jobs::{Enqueue, JobQueue, JobStatus};
+use crate::signal;
+use crate::singleflight::{Join, SingleFlight};
+use crate::stats::ServeStats;
+use apx_cache::Cache;
+use apx_cells::Library;
+use apx_core::query::{self, QueryParams};
+use apx_core::{cache as core_cache, output::Format, sweeps};
+use apx_engine::Engine;
+use apx_operators::OperatorConfig;
+use serde::Value;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Soft cap on concurrently handled connections; beyond it new requests
+/// get an immediate 503 instead of a thread.
+const MAX_CONNECTIONS: usize = 256;
+
+/// How the daemon is set up — the `apxperf serve` flags, as a struct.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`HOST:PORT`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Bounded job-queue capacity for `POST /sweep` / `POST /pareto`.
+    pub queue_capacity: usize,
+    /// When set, the actual bound address is written here (atomically)
+    /// once listening — how tests and scripts avoid racing on a port.
+    pub port_file: Option<PathBuf>,
+    /// The report cache every query goes through.
+    pub cache: Cache,
+    /// The execution engine every computation runs on.
+    pub engine: Engine,
+    /// Server-side default query parameters; requests override fields
+    /// individually.
+    pub defaults: QueryParams,
+    /// Whether the accept loop also honours SIGINT/SIGTERM (via
+    /// [`signal::install`]); embedded test servers turn this off so an
+    /// unrelated signal test cannot stop them.
+    pub watch_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".to_owned(),
+            queue_capacity: 32,
+            port_file: None,
+            cache: Cache::disabled(),
+            engine: Engine::from_env(),
+            defaults: QueryParams::default(),
+            watch_signals: false,
+        }
+    }
+}
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+struct ServeState {
+    lib: Library,
+    engine: Engine,
+    cache: Cache,
+    defaults: QueryParams,
+    stats: ServeStats,
+    flights: Arc<SingleFlight>,
+    jobs: JobQueue,
+    shutdown: AtomicBool,
+    watch_signals: bool,
+    active_connections: AtomicUsize,
+}
+
+impl ServeState {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || (self.watch_signals && signal::shutdown_signalled())
+    }
+}
+
+/// A handle for requesting shutdown programmatically (tests, embedders).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to stop; `run` then drains and returns.
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds the listen socket, writes the port file (when configured)
+    /// and prepares the shared state. Serving starts with [`Server::run`].
+    ///
+    /// # Errors
+    /// An unbindable address or an unwritable port file, as a
+    /// user-facing message.
+    pub fn bind(config: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot configure listener: {e}"))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        if let Some(path) = &config.port_file {
+            let tmp = path.with_extension("tmp");
+            std::fs::write(&tmp, format!("{local_addr}\n"))
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .map_err(|e| format!("cannot write port file {}: {e}", path.display()))?;
+        }
+        Ok(Server {
+            listener,
+            local_addr,
+            state: Arc::new(ServeState {
+                lib: Library::fdsoi28(),
+                engine: config.engine,
+                cache: config.cache,
+                defaults: config.defaults,
+                stats: ServeStats::new(),
+                flights: Arc::new(SingleFlight::new()),
+                jobs: JobQueue::new(config.queue_capacity),
+                shutdown: AtomicBool::new(false),
+                watch_signals: config.watch_signals,
+                active_connections: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable shutdown handle.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until shutdown is requested (signal, `POST /shutdown` or
+    /// [`ServerHandle::request_shutdown`]), then drains: stops
+    /// accepting, lets every in-flight connection finish, runs every
+    /// already-accepted job to completion, and persists the cache
+    /// counters. Returns only when the drain is complete.
+    pub fn run(self) {
+        let state = self.state;
+        let listener = self.listener;
+        std::thread::scope(|scope| {
+            let worker_state = Arc::clone(&state);
+            scope.spawn(move || worker_state.jobs.worker());
+            loop {
+                if state.shutdown_requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_state = Arc::clone(&state);
+                        scope.spawn(move || handle_connection(stream, &conn_state));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            // no more submissions; the worker drains what was accepted
+            state.jobs.close();
+            // the scope exit is the drain barrier: it joins the worker
+            // and every connection handler before run() can return
+        });
+        state.cache.persist_run_stats();
+    }
+}
+
+/// RAII connection-count guard.
+struct ConnectionPermit<'a> {
+    state: &'a ServeState,
+}
+
+impl Drop for ConnectionPermit<'_> {
+    fn drop(&mut self) {
+        self.state
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServeState>) {
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_nodelay(true).ok();
+    let occupied = state.active_connections.fetch_add(1, Ordering::Relaxed);
+    let _permit = ConnectionPermit { state };
+    if occupied >= MAX_CONNECTIONS {
+        let _ = http::write_response(&mut stream, 503, &error_json("too many connections"));
+        return;
+    }
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(message) => {
+            let _ = http::write_response(&mut stream, 400, &error_json(&message));
+            return;
+        }
+    };
+    let (status, body) = route(state, &request);
+    let _ = http::write_response(&mut stream, status, &body);
+}
+
+fn route(state: &Arc<ServeState>, request: &Request) -> (u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, compact(&[("status", Value::String("ok".to_owned()))])),
+        ("GET", ["stats"]) => (200, stats_json(state)),
+        ("GET", ["report", spec]) => report(state, spec, &request.query),
+        ("POST", ["sweep"]) => submit_sweep(state, &request.body),
+        ("POST", ["pareto"]) => submit_pareto(state, &request.body),
+        ("GET", ["job", id]) => job_status(state, id),
+        ("GET", ["job", id, "result"]) => job_result(state, id),
+        ("POST", ["shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                compact(&[("status", Value::String("draining".to_owned()))]),
+            )
+        }
+        (
+            _,
+            ["healthz"]
+            | ["stats"]
+            | ["report", _]
+            | ["sweep"]
+            | ["pareto"]
+            | ["job", ..]
+            | ["shutdown"],
+        ) => (405, error_json("method not allowed for this endpoint")),
+        _ => (
+            404,
+            error_json(
+                "unknown endpoint — see GET /healthz, GET /stats, GET /report/<CONFIG>, \
+                 POST /sweep, POST /pareto, GET /job/<id>, POST /shutdown",
+            ),
+        ),
+    }
+}
+
+/// `GET /report/<CONFIG>` — the single-flight endpoint. Every request
+/// is classified as exactly one of hit / miss / coalesced.
+fn report(state: &Arc<ServeState>, spec: &str, query_pairs: &[(String, String)]) -> (u16, String) {
+    let params = match params_from_query(state.defaults, query_pairs) {
+        Ok(params) => params,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let config: OperatorConfig = match spec.parse() {
+        Ok(config) => config,
+        Err(e) => return (400, error_json(&format!("{e}"))),
+    };
+    let key = core_cache::report_cache_key(&state.lib, &params.settings(), &config);
+    match state.flights.join(key) {
+        Join::Follower(flight) => {
+            state.stats.record_coalesced();
+            match flight.wait() {
+                Ok(body) => (200, body.as_ref().clone()),
+                Err(message) => (500, error_json(&message)),
+            }
+        }
+        Join::Leader(guard) => {
+            let _inflight = state.stats.begin_inflight();
+            let (report, hit) = query::cached_report(
+                &state.lib,
+                params.settings(),
+                &config,
+                &state.engine,
+                &state.cache,
+            );
+            if hit {
+                state.stats.record_hit();
+            } else {
+                state.stats.record_miss();
+                state.cache.persist_run_stats();
+            }
+            match report
+                .to_json()
+                .map_err(|e| format!("report serialization failed: {e}"))
+            {
+                Ok(json) => {
+                    let body = Arc::new(format!("{json}\n"));
+                    let response = body.as_ref().clone();
+                    guard.publish(Ok(body));
+                    (200, response)
+                }
+                Err(message) => {
+                    guard.publish(Err(message.clone()));
+                    (500, error_json(&message))
+                }
+            }
+        }
+    }
+}
+
+/// `POST /sweep` — validate, then enqueue; the body mirrors the CLI
+/// flags (`family`, `workload`, `format`, `samples`, …).
+fn submit_sweep(state: &Arc<ServeState>, body: &str) -> (u16, String) {
+    if state.shutdown_requested() {
+        return (503, error_json("shutting down"));
+    }
+    let fields = match parse_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let sweep = match sweep_request(state.defaults, &fields) {
+        Ok(sweep) => sweep,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let label = match &sweep.workload {
+        Some(workload) => format!("sweep --family {} --workload {workload}", sweep.family),
+        None => format!("sweep --family {}", sweep.family),
+    };
+    let job_state = Arc::clone(state);
+    enqueue(
+        state,
+        label,
+        Box::new(move || {
+            let text = query::sweep_text(
+                &job_state.lib,
+                &sweep.params,
+                &sweep.family,
+                sweep.workload.as_deref(),
+                sweep.format,
+                &job_state.engine,
+                &job_state.cache,
+            );
+            job_state.cache.persist_run_stats();
+            text
+        }),
+    )
+}
+
+/// `POST /pareto` — validate, then enqueue; the body mirrors the CLI
+/// flags (`workload` required, `family`/`all` mutually exclusive).
+fn submit_pareto(state: &Arc<ServeState>, body: &str) -> (u16, String) {
+    if state.shutdown_requested() {
+        return (503, error_json("shutting down"));
+    }
+    let fields = match parse_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let pareto = match pareto_request(state.defaults, &fields) {
+        Ok(pareto) => pareto,
+        Err(message) => return (400, error_json(&message)),
+    };
+    let label = format!(
+        "pareto --workload {}{}",
+        pareto.workload,
+        match (&pareto.family, pareto.all) {
+            (Some(family), _) => format!(" --family {family}"),
+            (None, true) => " --all".to_owned(),
+            (None, false) => String::new(),
+        }
+    );
+    let job_state = Arc::clone(state);
+    enqueue(
+        state,
+        label,
+        Box::new(move || {
+            let text = query::pareto_text(
+                &job_state.lib,
+                &pareto.params,
+                &pareto.workload,
+                pareto.family.as_deref(),
+                pareto.all,
+                pareto.format,
+                &job_state.engine,
+                &job_state.cache,
+            );
+            job_state.cache.persist_run_stats();
+            text
+        }),
+    )
+}
+
+fn enqueue(state: &Arc<ServeState>, label: String, job: crate::jobs::Job) -> (u16, String) {
+    match state.jobs.enqueue(label, job) {
+        Enqueue::Accepted(id) => (
+            202,
+            compact(&[
+                ("job", Value::UInt(u128::from(id))),
+                ("status", Value::String("queued".to_owned())),
+                ("poll", Value::String(format!("/job/{id}"))),
+            ]),
+        ),
+        Enqueue::Rejected => {
+            state.stats.record_rejected();
+            (
+                503,
+                compact(&[
+                    (
+                        "error",
+                        Value::String(format!(
+                            "job queue full ({} jobs waiting)",
+                            state.jobs.capacity()
+                        )),
+                    ),
+                    ("capacity", Value::UInt(state.jobs.capacity() as u128)),
+                ]),
+            )
+        }
+    }
+}
+
+/// `GET /job/<id>` — 202 while pending, 200 once settled.
+fn job_status(state: &Arc<ServeState>, id: &str) -> (u16, String) {
+    let Ok(id) = id.parse::<u64>() else {
+        return (400, error_json("job ids are integers"));
+    };
+    let Some(snapshot) = state.jobs.snapshot(id) else {
+        return (404, error_json("unknown job id"));
+    };
+    let mut fields = vec![
+        ("job", Value::UInt(u128::from(id))),
+        ("status", Value::String(snapshot.status.as_str().to_owned())),
+        ("label", Value::String(snapshot.label)),
+    ];
+    let status = match snapshot.status {
+        JobStatus::Queued | JobStatus::Running => 202,
+        JobStatus::Done => {
+            fields.push(("result", Value::String(format!("/job/{id}/result"))));
+            200
+        }
+        JobStatus::Failed => {
+            fields.push(("error", Value::String(snapshot.error.unwrap_or_default())));
+            200
+        }
+    };
+    (status, compact(&fields))
+}
+
+/// `GET /job/<id>/result` — the raw rendered body once done (exactly
+/// the bytes the corresponding CLI invocation prints on stdout).
+fn job_result(state: &Arc<ServeState>, id: &str) -> (u16, String) {
+    let Ok(id) = id.parse::<u64>() else {
+        return (400, error_json("job ids are integers"));
+    };
+    let Some(snapshot) = state.jobs.snapshot(id) else {
+        return (404, error_json("unknown job id"));
+    };
+    match snapshot.status {
+        JobStatus::Done => (200, snapshot.result.unwrap_or_default()),
+        JobStatus::Failed => (500, error_json(&snapshot.error.unwrap_or_default())),
+        JobStatus::Queued | JobStatus::Running => (
+            202,
+            compact(&[("status", Value::String(snapshot.status.as_str().to_owned()))]),
+        ),
+    }
+}
+
+fn stats_json(state: &Arc<ServeState>) -> String {
+    let stats = state.stats.snapshot();
+    let jobs = state.jobs.counts();
+    let cache = state.cache.stats();
+    let object = Value::Object(vec![
+        ("hits".to_owned(), Value::UInt(u128::from(stats.hits))),
+        ("misses".to_owned(), Value::UInt(u128::from(stats.misses))),
+        (
+            "coalesced".to_owned(),
+            Value::UInt(u128::from(stats.coalesced)),
+        ),
+        (
+            "inflight".to_owned(),
+            Value::UInt(u128::from(stats.inflight) + jobs.running as u128),
+        ),
+        ("queue_depth".to_owned(), Value::UInt(jobs.queued as u128)),
+        (
+            "rejected".to_owned(),
+            Value::UInt(u128::from(stats.rejected)),
+        ),
+        (
+            "jobs".to_owned(),
+            Value::Object(vec![
+                ("queued".to_owned(), Value::UInt(jobs.queued as u128)),
+                ("running".to_owned(), Value::UInt(jobs.running as u128)),
+                ("done".to_owned(), Value::UInt(u128::from(jobs.done))),
+                ("failed".to_owned(), Value::UInt(u128::from(jobs.failed))),
+            ]),
+        ),
+        (
+            "cache".to_owned(),
+            Value::Object(vec![
+                ("enabled".to_owned(), Value::Bool(state.cache.is_enabled())),
+                ("hits".to_owned(), Value::UInt(u128::from(cache.hits))),
+                ("misses".to_owned(), Value::UInt(u128::from(cache.misses))),
+                ("writes".to_owned(), Value::UInt(u128::from(cache.writes))),
+            ]),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&object).expect("JSON rendering is infallible");
+    text.push('\n');
+    text
+}
+
+// ---------------------------------------------------------------------
+// request parsing
+
+fn error_json(message: &str) -> String {
+    compact(&[("error", Value::String(message.to_owned()))])
+}
+
+fn compact(fields: &[(&str, Value)]) -> String {
+    let object = Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    );
+    let mut text = serde_json::to_string(&object).expect("JSON rendering is infallible");
+    text.push('\n');
+    text
+}
+
+fn parse_uint(name: &str, value: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        value.parse::<u64>()
+    };
+    parsed.map_err(|_| format!("{name}: `{value}` is not an integer"))
+}
+
+fn parse_positive(name: &str, value: &str) -> Result<u64, String> {
+    match parse_uint(name, value)? {
+        0 => Err(format!("{name}: must be at least 1")),
+        n => Ok(n),
+    }
+}
+
+/// Applies `?samples=&vectors=&seed=` query parameters on top of the
+/// server defaults; unknown keys are a 400 (typos must not silently
+/// characterize something else).
+fn params_from_query(
+    defaults: QueryParams,
+    pairs: &[(String, String)],
+) -> Result<QueryParams, String> {
+    let mut params = defaults;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "samples" => params.samples = parse_positive(key, value)? as usize,
+            "vectors" => params.vectors = parse_positive(key, value)? as usize,
+            "seed" => params.seed = Some(parse_uint(key, value)?),
+            other => {
+                return Err(format!(
+                    "unknown query parameter `{other}` (samples, vectors, seed)"
+                ))
+            }
+        }
+    }
+    Ok(params)
+}
+
+fn parse_body(body: &str) -> Result<Vec<(String, Value)>, String> {
+    if body.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    let value: Value =
+        serde_json::from_str(body).map_err(|e| format!("request body is not JSON: {e}"))?;
+    match value {
+        Value::Object(fields) => Ok(fields),
+        _ => Err("request body must be a JSON object".to_owned()),
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn field_string(fields: &[(String, Value)], name: &str) -> Result<Option<String>, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!("{name}: expected a string, got {other:?}")),
+    }
+}
+
+fn field_bool(fields: &[(String, Value)], name: &str) -> Result<bool, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(format!("{name}: expected a boolean, got {other:?}")),
+    }
+}
+
+fn field_u64(fields: &[(String, Value)], name: &str) -> Result<Option<u64>, String> {
+    match field(fields, name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(u)) => u64::try_from(*u)
+            .map(Some)
+            .map_err(|_| format!("{name}: value out of range")),
+        Some(Value::Int(i)) => u64::try_from(*i)
+            .map(Some)
+            .map_err(|_| format!("{name}: value out of range")),
+        Some(Value::String(s)) => parse_uint(name, s).map(Some),
+        Some(other) => Err(format!("{name}: expected an integer, got {other:?}")),
+    }
+}
+
+/// Shared body fields: the numeric knobs plus `format`.
+fn body_params(
+    defaults: QueryParams,
+    fields: &[(String, Value)],
+    allowed: &[&str],
+) -> Result<(QueryParams, Format), String> {
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown field `{key}` (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    let mut params = defaults;
+    if let Some(samples) = field_u64(fields, "samples")? {
+        if samples == 0 {
+            return Err("samples: must be at least 1".to_owned());
+        }
+        params.samples = samples as usize;
+    }
+    if let Some(vectors) = field_u64(fields, "vectors")? {
+        if vectors == 0 {
+            return Err("vectors: must be at least 1".to_owned());
+        }
+        params.vectors = vectors as usize;
+    }
+    if let Some(seed) = field_u64(fields, "seed")? {
+        params.seed = Some(seed);
+    }
+    if let Some(size) = field_u64(fields, "size")? {
+        params.size = size as usize;
+    }
+    if let Some(sets) = field_u64(fields, "sets")? {
+        params.sets = sets as usize;
+    }
+    if let Some(points) = field_u64(fields, "points")? {
+        params.points = points as usize;
+    }
+    let format = match field_string(fields, "format")? {
+        Some(value) => Format::parse(&value)?,
+        None => Format::Tty,
+    };
+    Ok((params, format))
+}
+
+#[derive(Debug)]
+struct SweepRequest {
+    family: String,
+    workload: Option<String>,
+    params: QueryParams,
+    format: Format,
+}
+
+fn sweep_request(
+    defaults: QueryParams,
+    fields: &[(String, Value)],
+) -> Result<SweepRequest, String> {
+    let (params, format) = body_params(
+        defaults,
+        fields,
+        &[
+            "family", "workload", "format", "samples", "vectors", "seed", "size", "sets", "points",
+        ],
+    )?;
+    let family = field_string(fields, "family")?.unwrap_or_else(|| "adders".to_owned());
+    if sweeps::find_family(&family).is_none() {
+        let names: Vec<&str> = sweeps::FAMILIES.iter().map(|f| f.name).collect();
+        return Err(format!(
+            "--family: `{family}` is not one of {}",
+            names.join(", ")
+        ));
+    }
+    let workload = field_string(fields, "workload")?;
+    if let Some(name) = &workload {
+        if apx_apps::workload::find(name).is_none() {
+            return Err(format!("unknown workload `{name}` — see `apxperf list`"));
+        }
+    }
+    Ok(SweepRequest {
+        family,
+        workload,
+        params,
+        format,
+    })
+}
+
+#[derive(Debug)]
+struct ParetoRequest {
+    workload: String,
+    family: Option<String>,
+    all: bool,
+    params: QueryParams,
+    format: Format,
+}
+
+fn pareto_request(
+    defaults: QueryParams,
+    fields: &[(String, Value)],
+) -> Result<ParetoRequest, String> {
+    let (params, format) = body_params(
+        defaults,
+        fields,
+        &[
+            "workload", "family", "all", "format", "samples", "vectors", "seed", "size", "sets",
+            "points",
+        ],
+    )?;
+    let workload = field_string(fields, "workload")?
+        .ok_or_else(|| "pareto needs a `workload` field — see `apxperf list`".to_owned())?;
+    if apx_apps::workload::find(&workload).is_none() {
+        return Err(format!(
+            "unknown workload `{workload}` — see `apxperf list`"
+        ));
+    }
+    let family = field_string(fields, "family")?;
+    let all = field_bool(fields, "all")?;
+    if all && family.is_some() {
+        return Err("--family and --all are mutually exclusive".to_owned());
+    }
+    if let Some(name) = &family {
+        if sweeps::find_family(name).is_none() {
+            return Err(format!(
+                "--family: `{name}` is not a registered family — see `apxperf list`"
+            ));
+        }
+    }
+    Ok(ParetoRequest {
+        workload,
+        family,
+        all,
+        params,
+        format,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_params_apply_on_top_of_defaults_and_reject_typos() {
+        let defaults = QueryParams::default();
+        let pairs = vec![
+            ("samples".to_owned(), "2000".to_owned()),
+            ("seed".to_owned(), "0xBEEF".to_owned()),
+        ];
+        let params = params_from_query(defaults, &pairs).unwrap();
+        assert_eq!(params.samples, 2000);
+        assert_eq!(params.seed, Some(0xBEEF));
+        assert_eq!(params.vectors, defaults.vectors);
+        let err =
+            params_from_query(defaults, &[("sample".to_owned(), "1".to_owned())]).unwrap_err();
+        assert!(err.contains("unknown query parameter"), "{err}");
+        let err =
+            params_from_query(defaults, &[("samples".to_owned(), "0".to_owned())]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn sweep_bodies_validate_names_up_front() {
+        let defaults = QueryParams::default();
+        let fields = parse_body(r#"{"family":"points","workload":"fir","samples":500}"#).unwrap();
+        let sweep = sweep_request(defaults, &fields).unwrap();
+        assert_eq!(sweep.family, "points");
+        assert_eq!(sweep.workload.as_deref(), Some("fir"));
+        assert_eq!(sweep.params.samples, 500);
+        let fields = parse_body(r#"{"family":"nope"}"#).unwrap();
+        let err = sweep_request(defaults, &fields).unwrap_err();
+        assert!(err.contains("is not one of"), "{err}");
+        let fields = parse_body(r#"{"workload":"nope"}"#).unwrap();
+        let err = sweep_request(defaults, &fields).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        let fields = parse_body(r#"{"familly":"points"}"#).unwrap();
+        let err = sweep_request(defaults, &fields).unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn pareto_bodies_enforce_the_cli_exclusions() {
+        let defaults = QueryParams::default();
+        let err = pareto_request(defaults, &parse_body("{}").unwrap()).unwrap_err();
+        assert!(err.contains("workload"), "{err}");
+        let fields = parse_body(r#"{"workload":"fir","family":"points","all":true}"#).unwrap();
+        let err = pareto_request(defaults, &fields).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let fields = parse_body(r#"{"workload":"fir","all":true,"format":"json"}"#).unwrap();
+        let pareto = pareto_request(defaults, &fields).unwrap();
+        assert!(pareto.all);
+        assert_eq!(pareto.format, Format::Json);
+    }
+
+    #[test]
+    fn empty_bodies_mean_all_defaults() {
+        let fields = parse_body("").unwrap();
+        let sweep = sweep_request(QueryParams::default(), &fields).unwrap();
+        assert_eq!(sweep.family, "adders");
+        assert_eq!(sweep.workload, None);
+        assert_eq!(sweep.format, Format::Tty);
+    }
+}

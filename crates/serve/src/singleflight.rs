@@ -1,0 +1,196 @@
+//! Single-flight request coalescing: when N identical cold queries
+//! arrive concurrently, exactly one (the *leader*) computes while the
+//! other N−1 (*followers*) block on the leader's flight and receive the
+//! published result — one cache miss, one computation, N identical
+//! bodies. Flights are keyed by the same content-addressed 128-bit
+//! [`CacheKey`]s the report cache uses, so "identical query" means
+//! exactly "identical cache key".
+
+use apx_cache::CacheKey;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The shared slot one leader publishes into and followers wait on.
+#[derive(Debug, Default)]
+pub struct Flight {
+    slot: Mutex<Option<Result<Arc<String>, String>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, then returns the shared
+    /// result.
+    pub fn wait(&self) -> Result<Arc<String>, String> {
+        let mut slot = self.slot.lock().expect("flight lock poisoned");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("flight lock poisoned");
+        }
+        slot.clone().expect("loop exits only when published")
+    }
+
+    fn publish(&self, result: Result<Arc<String>, String>) {
+        let mut slot = self.slot.lock().expect("flight lock poisoned");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// How a caller joined a flight: first-comer leads and must publish
+/// through the [`LeaderGuard`]; everyone else follows and waits.
+pub enum Join {
+    /// This caller computes; dropping the guard without publishing
+    /// (e.g. a panic) publishes an error so followers never hang.
+    Leader(LeaderGuard),
+    /// This caller waits for the leader's published result.
+    Follower(Arc<Flight>),
+}
+
+/// The in-flight table.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+impl SingleFlight {
+    /// A fresh, empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`, creating it (and leading) when none
+    /// is in progress.
+    pub fn join(self: &Arc<Self>, key: CacheKey) -> Join {
+        let mut flights = self.flights.lock().expect("singleflight lock poisoned");
+        if let Some(flight) = flights.get(&key) {
+            return Join::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::default());
+        flights.insert(key, Arc::clone(&flight));
+        Join::Leader(LeaderGuard {
+            table: Arc::clone(self),
+            key,
+            flight,
+            published: false,
+        })
+    }
+
+    /// Number of flights currently in progress (leaders still
+    /// computing).
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.flights
+            .lock()
+            .expect("singleflight lock poisoned")
+            .len()
+    }
+
+    fn finish(&self, key: &CacheKey) {
+        self.flights
+            .lock()
+            .expect("singleflight lock poisoned")
+            .remove(key);
+    }
+}
+
+/// The leader's obligation: publish a result exactly once. The entry is
+/// removed from the table **before** followers are woken, so a request
+/// arriving after publication starts a fresh flight (and, with a warm
+/// cache, scores a plain hit).
+#[derive(Debug)]
+pub struct LeaderGuard {
+    table: Arc<SingleFlight>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl LeaderGuard {
+    /// Publishes the computed result to every follower and retires the
+    /// flight.
+    pub fn publish(mut self, result: Result<Arc<String>, String>) {
+        self.published = true;
+        self.table.finish(&self.key);
+        self.flight.publish(result);
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            // the leader died (panic / early return): fail the flight
+            // instead of stranding followers on the condvar forever
+            self.table.finish(&self.key);
+            self.flight
+                .publish(Err("leader aborted before publishing".to_owned()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_cache::KeyBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn key(tag: &str) -> CacheKey {
+        KeyBuilder::new("sf-test").push_str("tag", tag).finish()
+    }
+
+    #[test]
+    fn thundering_herd_computes_once() {
+        let table = Arc::new(SingleFlight::new());
+        let computations = AtomicUsize::new(0);
+        let followers = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    match table.join(key("herd")) {
+                        Join::Leader(guard) => {
+                            // hold the flight open long enough that the
+                            // barrier-released peers all join as followers
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            guard.publish(Ok(Arc::new("body".to_owned())));
+                        }
+                        Join::Follower(flight) => {
+                            followers.fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(flight.wait().unwrap().as_str(), "body");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        assert_eq!(followers.load(Ordering::SeqCst), 7);
+        assert_eq!(table.inflight(), 0, "flight retired after publication");
+    }
+
+    #[test]
+    fn a_dropped_leader_fails_followers_instead_of_hanging_them() {
+        let table = Arc::new(SingleFlight::new());
+        let Join::Leader(guard) = table.join(key("abort")) else {
+            panic!("first joiner must lead");
+        };
+        let Join::Follower(flight) = table.join(key("abort")) else {
+            panic!("second joiner must follow");
+        };
+        drop(guard);
+        let err = flight.wait().unwrap_err();
+        assert!(err.contains("leader aborted"), "{err}");
+        assert_eq!(table.inflight(), 0);
+    }
+
+    #[test]
+    fn sequential_joins_lead_fresh_flights() {
+        let table = Arc::new(SingleFlight::new());
+        for _ in 0..3 {
+            match table.join(key("seq")) {
+                Join::Leader(guard) => guard.publish(Ok(Arc::new("x".to_owned()))),
+                Join::Follower(_) => panic!("no concurrent flight exists"),
+            }
+        }
+    }
+}
