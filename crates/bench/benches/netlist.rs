@@ -38,6 +38,23 @@ fn bench_substrate(c: &mut Criterion) {
             ))
         })
     });
+
+    // The bitsliced kernel at full occupancy: 64 vectors = one per lane,
+    // and a whole-shard run (256 vectors = 4 per lane), isolating the
+    // per-event cost from lane-fill effects.
+    let mut group = c.benchmark_group("power_vectors_64");
+    for vectors in [64usize, 256] {
+        group.bench_function(&format!("mult16_{vectors}vectors"), |b| {
+            b.iter(|| {
+                black_box(power::estimate(
+                    &nl,
+                    &lib,
+                    power::PowerSettings { vectors, seed: 1 },
+                ))
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_substrate);

@@ -174,6 +174,56 @@ impl CellKind {
             }
         }
     }
+
+    /// Evaluate the cell for a single input combination — the plain 1-bit
+    /// form of [`CellKind::eval64`].
+    ///
+    /// This is the eval the scalar reference implementations use (e.g. the
+    /// per-lane power-simulation reference), where broadcasting a single
+    /// bool through the 64-lane path would only obscure what is being
+    /// computed. Implemented independently of [`CellKind::eval64`] so the
+    /// exhaustive equivalence test in this module genuinely cross-checks
+    /// the two truth tables.
+    ///
+    /// # Example
+    /// ```
+    /// use apx_cells::CellKind;
+    /// assert_eq!(CellKind::Fa.eval([true, true, false]), (false, true));
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn eval(self, ins: [bool; 3]) -> (bool, bool) {
+        let [a, b, c] = ins;
+        match self {
+            CellKind::Tie0 => (false, false),
+            CellKind::Tie1 => (true, false),
+            CellKind::Buf => (a, false),
+            CellKind::Inv => (!a, false),
+            CellKind::And2 => (a && b, false),
+            CellKind::And3 => (a && b && c, false),
+            CellKind::Or2 => (a || b, false),
+            CellKind::Or3 => (a || b || c, false),
+            CellKind::Nand2 => (!(a && b), false),
+            CellKind::Nand3 => (!(a && b && c), false),
+            CellKind::Nor2 => (!(a || b), false),
+            CellKind::Nor3 => (!(a || b || c), false),
+            CellKind::Xor2 => (a ^ b, false),
+            CellKind::Xnor2 => (!(a ^ b), false),
+            CellKind::Mux2 => (if c { b } else { a }, false),
+            CellKind::Aoi21 => (!((a && b) || c), false),
+            CellKind::Oai21 => (!((a || b) && c), false),
+            CellKind::Ha => (a ^ b, a && b),
+            CellKind::Fa => (a ^ b ^ c, (a & b) | (a & c) | (b & c)),
+            CellKind::FaX1 => {
+                let maj = (a & b) | (a & c) | (b & c);
+                ((!a & (b | c)) | (a & b & c), maj)
+            }
+            CellKind::FaX2 => {
+                let maj = (a & b) | (a & c) | (b & c);
+                (!maj, maj)
+            }
+        }
+    }
 }
 
 impl fmt::Display for CellKind {
@@ -278,6 +328,55 @@ mod tests {
     fn ties_are_constant() {
         assert_eq!(CellKind::Tie0.eval64([!0, !0, !0]).0, 0);
         assert_eq!(CellKind::Tie1.eval64([0, 0, 0]).0, !0);
+    }
+
+    #[test]
+    fn scalar_eval_matches_eval64_on_every_cell_and_input() {
+        // Exhaustive cross-check of the two independently written truth
+        // tables: every kind × every input combination, both with the
+        // broadcast all-ones/all-zeros lanes and with a single lane-0 bit
+        // (unused high lanes must never leak into lane 0).
+        for &kind in ALL_CELL_KINDS {
+            for bits in 0u8..8 {
+                let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+                let scalar = kind.eval([a, b, c]);
+                assert_eq!(scalar, eval1(kind, a, b, c), "{kind} broadcast");
+                let w = |x: bool| u64::from(x);
+                let (o0, o1) = kind.eval64([w(a), w(b), w(c)]);
+                assert_eq!(
+                    scalar,
+                    (o0 & 1 == 1, o1 & 1 == 1),
+                    "{kind} single-lane ({a},{b},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval64_is_lanewise_independent() {
+        // Each lane of eval64 must be exactly the scalar eval of that
+        // lane's inputs — the property the bitsliced power simulator's
+        // popcount transition counting rests on.
+        for &kind in ALL_CELL_KINDS {
+            // lane l carries input combination l % 8
+            let mut ins = [0u64; 3];
+            for lane in 0..64u64 {
+                let bits = lane % 8;
+                for (i, word) in ins.iter_mut().enumerate() {
+                    *word |= ((bits >> i) & 1) << lane;
+                }
+            }
+            let (o0, o1) = kind.eval64(ins);
+            for lane in 0..64u64 {
+                let bits = lane % 8;
+                let expect = kind.eval([bits & 1 != 0, bits & 2 != 0, bits & 4 != 0]);
+                assert_eq!(
+                    ((o0 >> lane) & 1 == 1, (o1 >> lane) & 1 == 1),
+                    expect,
+                    "{kind} lane {lane}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -368,6 +368,79 @@ fn pareto_overlay_flags_dominated_approx_configs_and_warms_to_pure_hits() {
 }
 
 #[test]
+fn pre_schema_bump_cache_dir_recomputes_and_last_run_records_the_miss() {
+    // A cache dir populated before a REPORT_SCHEMA_VERSION bump must act
+    // cold: the stale blob is a clean miss (different content address —
+    // never a hit, never a collision), the run recomputes identical
+    // bytes, and `cache stats --format json` `last_run` records the
+    // recompute.
+    use apx_core::cache::{library_fingerprint, report_cache_key, REPORT_SCHEMA_VERSION};
+    use apx_core::query::QueryParams;
+
+    let dir = TempDir::new("schema_bump");
+    let args = [
+        "report",
+        "ACA(16,6)",
+        "--samples",
+        "2000",
+        "--vectors",
+        "100",
+        "--cache-dir",
+        dir.path(),
+    ];
+    let cold = run(&args);
+    assert!(cold.status.success(), "cold report failed: {cold:?}");
+
+    // Re-derive the blob's address exactly as the run did, then re-file
+    // the blob under the address the *previous* schema version would
+    // have used — a faithful stand-in for a warm pre-bump cache dir.
+    let lib = apx_cells::Library::fdsoi28();
+    let settings = QueryParams {
+        samples: 2_000,
+        vectors: 100,
+        ..QueryParams::default()
+    }
+    .settings();
+    let config = apx_operators::OperatorConfig::Aca { n: 16, p: 6 };
+    let new_key = report_cache_key(&lib, &settings, &config);
+    let old_key = apx_cache::KeyBuilder::new("apxperf-operator-report")
+        .push_u64("report_schema", u64::from(REPORT_SCHEMA_VERSION - 1))
+        .push_str("library", &library_fingerprint(&lib).hex())
+        .push_u64("sharding", apx_engine::sharding_fingerprint())
+        .push_json("settings", &settings)
+        .push_json("config", &config)
+        .finish();
+    assert_ne!(old_key, new_key);
+    std::fs::rename(
+        dir.0.join(format!("{new_key}.json")),
+        dir.0.join(format!("{old_key}.json")),
+    )
+    .expect("cold run must have written the blob under the new key");
+
+    let warm = run(&args);
+    assert!(warm.status.success(), "post-bump report failed: {warm:?}");
+    assert_eq!(stdout(&cold), stdout(&warm), "recompute must be identical");
+
+    let stats = run(&[
+        "cache",
+        "stats",
+        "--cache-dir",
+        dir.path(),
+        "--format",
+        "json",
+    ]);
+    assert!(stats.status.success());
+    let json = stdout(&stats);
+    assert!(json.contains("\"last_run\""), "{json}");
+    assert!(
+        json.contains("\"hits\": 0"),
+        "stale blob must not hit: {json}"
+    );
+    assert!(json.contains("\"misses\": 1"), "{json}");
+    assert!(json.contains("\"writes\": 1"), "{json}");
+}
+
+#[test]
 fn invalid_engine_knobs_are_usage_errors() {
     // --threads 0 used to fall through silently to "auto"; all zero
     // engine knobs are now rejected at the door, like the invalid

@@ -66,7 +66,13 @@ use apx_operators::{OperatorConfig, SiteMap};
 /// or differently-meaning data.
 ///
 /// [`OperatorReport`]: crate::OperatorReport
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 → v2: the power estimator's canonical vector-stream decomposition
+/// changed (64 bitsliced lane sub-streams per shard, each with its own
+/// warm-up — see `apx_netlist::power`), which legitimately shifts
+/// absolute transition totals; v1 blobs must miss, not resurface numbers
+/// from the retired stream definition.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Stable fingerprint of a cell library: a content hash over its
 /// canonical JSON serialization, covering every cell spec, the wire-load
@@ -103,7 +109,11 @@ pub fn report_cache_key(
 /// Version of the cached app-sweep-cell schema
 /// ([`WorkloadCell`](crate::appenergy::WorkloadCell)). Bump on any change
 /// to the serialized cell shape or the semantics of a keyed field.
-pub const APP_SWEEP_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 → v2: app-sweep cells embed per-operator energy numbers, which
+/// inherit the power estimator's new lane sub-stream semantics (see
+/// [`REPORT_SCHEMA_VERSION`] v2).
+pub const APP_SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// The content-addressed key of one application-sweep cell — a
 /// (workload × operator-config) pair under fixed characterizer settings.
@@ -272,6 +282,57 @@ mod tests {
             .with_cache(cache.clone())
             .characterize(&config);
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn pre_schema_bump_blobs_are_clean_misses() {
+        // A warm cache dir full of blobs written under the previous
+        // REPORT_SCHEMA_VERSION must behave like a cold cache: the old
+        // blobs sit under different content addresses, so the new run
+        // records a plain miss (never a hit, never a collision/heal) and
+        // recomputes under its own key.
+        let tmp = TempDir::new();
+        let cache = Cache::at(&tmp.0);
+        let lib = Library::fdsoi28();
+        let config = OperatorConfig::Aca { n: 16, p: 6 };
+        let settings = quick_settings();
+        let mut chz = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache.clone());
+        let report = chz.characterize(&config);
+
+        // Re-derive this report's key under the retired v1 schema tag —
+        // the recipe below must stay in sync with `report_cache_key` —
+        // and plant a well-formed report blob there, simulating a cache
+        // dir left over from before the bump.
+        let old_key = KeyBuilder::new("apxperf-operator-report")
+            .push_u64("report_schema", u64::from(REPORT_SCHEMA_VERSION - 1))
+            .push_str("library", &library_fingerprint(&lib).hex())
+            .push_u64("sharding", apx_engine::sharding_fingerprint())
+            .push_json("settings", &settings)
+            .push_json("config", &config)
+            .finish();
+        let new_key = report_cache_key(&lib, &settings, &config);
+        assert_ne!(old_key, new_key, "schema bump must move the address");
+        let stale = Cache::at(&tmp.0);
+        stale.put(&old_key, &report);
+
+        // Fresh session over the warm dir: the v1 blob is invisible.
+        let cache2 = Cache::at(&tmp.0);
+        std::fs::remove_file(tmp.0.join(format!("{new_key}.json"))).unwrap();
+        let mut chz2 = Characterizer::new(&lib)
+            .with_settings(settings)
+            .with_cache(cache2.clone());
+        let recomputed = chz2.characterize(&config);
+        assert_eq!(recomputed, report);
+        assert_eq!(
+            cache2.stats(),
+            apx_cache::CacheStats {
+                hits: 0,
+                misses: 1,
+                writes: 1
+            }
+        );
     }
 
     #[test]

@@ -125,6 +125,40 @@ pub fn plan_shards_sized(total: usize, shard_samples: usize) -> Vec<Shard> {
     shards
 }
 
+/// Number of independent lane sub-streams a bitsliced 64-way simulation
+/// shard carries: one per bit of a `u64` net word. Like
+/// [`SHARD_SAMPLES`], this is part of the deterministic stream
+/// decomposition — never derived from the thread count or batch width.
+pub const SIM_LANES: usize = 64;
+
+/// Splits the `total` samples of one shard across `lanes` lane
+/// sub-streams: lane `l` carries `total / lanes` samples plus one of the
+/// first `total % lanes` remainders, so lane lengths are non-increasing
+/// and differ by at most one.
+///
+/// The decomposition is a pure function of `total` — thread counts and
+/// batch widths never influence it — which is what lets a bitsliced
+/// kernel and a per-lane scalar reference process the *same* sub-streams
+/// and produce bit-identical results.
+///
+/// # Example
+/// ```
+/// let lens = apx_engine::plan_lanes(10, apx_engine::SIM_LANES);
+/// assert_eq!(lens.iter().sum::<usize>(), 10);
+/// assert_eq!(lens[0], 1);
+/// assert_eq!(lens[10], 0);
+/// ```
+///
+/// # Panics
+/// Panics if `lanes` is 0.
+#[must_use]
+pub fn plan_lanes(total: usize, lanes: usize) -> Vec<usize> {
+    assert!(lanes > 0, "lane count must be positive");
+    let base = total / lanes;
+    let rem = total % lanes;
+    (0..lanes).map(|l| base + usize::from(l < rem)).collect()
+}
+
 /// Version counter of the sharding/seed-derivation scheme. Bump it
 /// whenever [`SHARD_SAMPLES`], [`shard_seed`]'s mixing constants or the
 /// shard-plan layout change: results would still be internally
@@ -274,6 +308,20 @@ mod tests {
                 assert_eq!(pair[0].start + pair[0].len, pair[1].start);
             }
         }
+    }
+
+    #[test]
+    fn lane_plan_covers_everything_and_is_non_increasing() {
+        for total in [0usize, 1, 63, 64, 65, 100, 256, 257] {
+            let lens = plan_lanes(total, SIM_LANES);
+            assert_eq!(lens.len(), SIM_LANES);
+            assert_eq!(lens.iter().sum::<usize>(), total);
+            for pair in lens.windows(2) {
+                assert!(pair[0] >= pair[1]);
+                assert!(pair[0] - pair[1] <= 1);
+            }
+        }
+        assert_eq!(plan_lanes(7, 3), vec![3, 2, 2]);
     }
 
     #[test]

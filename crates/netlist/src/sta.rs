@@ -116,6 +116,86 @@ pub(crate) fn gate_output_delays_ps(nl: &Netlist, lib: &Library) -> Vec<[u64; 2]
         .collect()
 }
 
+/// Per-gate propagation delays quantized onto the event simulator's tick
+/// grid (see [`quantize_delays`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayTicks {
+    /// Per-gate, per-output-pin propagation delay in ticks. Unused pins
+    /// hold 0; every used pin is ≥ 1 tick.
+    pub ticks: Vec<[u64; 2]>,
+    /// Physical duration of one tick in ps — the GCD of every used
+    /// per-pin delay, so the quantization is exact: `ticks × tick_ps`
+    /// reproduces the ps delays bit for bit and relative event order is
+    /// untouched.
+    pub tick_ps: u64,
+    /// Largest per-pin delay in ticks. This bounds the event simulator's
+    /// timing-wheel horizon: every pending event lies within `max_ticks`
+    /// of the current simulation time.
+    pub max_ticks: u64,
+}
+
+/// Quantizes the per-output-pin propagation delays of every gate onto
+/// the coarsest exact tick grid.
+///
+/// The event-driven power simulator keys its timing wheel on these
+/// ticks. Dividing all ps delays by their GCD is a *lossless*
+/// requantization — event timestamps scale uniformly, so coincidence
+/// (which gates evaluate in the same wheel slot) and ordering are
+/// identical to simulating in raw ps — while minimizing the wheel
+/// horizon the simulator has to sweep.
+///
+/// # Example
+/// ```
+/// use apx_netlist::{sta, NetlistBuilder};
+/// use apx_cells::Library;
+/// let mut b = NetlistBuilder::new("x");
+/// let a = b.input_bus("a", 2);
+/// let y = b.xor(a[0], a[1]);
+/// b.output_bus("y", &[y]);
+/// let q = sta::quantize_delays(&b.finish(), &Library::fdsoi28());
+/// assert!(q.tick_ps >= 1 && q.max_ticks >= 1);
+/// ```
+#[must_use]
+pub fn quantize_delays(nl: &Netlist, lib: &Library) -> DelayTicks {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let ps = gate_output_delays_ps(nl, lib);
+    let mut tick_ps = 0u64;
+    for (gate, delays) in nl.gates().iter().zip(&ps) {
+        for (o, &out) in gate.outs.iter().enumerate() {
+            if out.is_valid() {
+                tick_ps = gcd(tick_ps, delays[o]);
+            }
+        }
+    }
+    let tick_ps = tick_ps.max(1);
+    let mut max_ticks = 0u64;
+    let ticks = nl
+        .gates()
+        .iter()
+        .zip(&ps)
+        .map(|(gate, delays)| {
+            let mut t = [0u64; 2];
+            for (o, &out) in gate.outs.iter().enumerate() {
+                if out.is_valid() {
+                    t[o] = delays[o] / tick_ps;
+                    max_ticks = max_ticks.max(t[o]);
+                }
+            }
+            t
+        })
+        .collect();
+    DelayTicks {
+        ticks,
+        tick_ps,
+        max_ticks,
+    }
+}
+
 /// Helper used by tests and benches: the arrival time of a specific net.
 #[must_use]
 pub fn arrival_of(report: &TimingReport, net: NetId) -> f64 {
@@ -168,6 +248,28 @@ mod tests {
         for w in sums.windows(2) {
             assert!(arrival_of(&report, w[1]) >= arrival_of(&report, w[0]));
         }
+    }
+
+    #[test]
+    fn quantized_delays_reproduce_the_ps_delays_exactly() {
+        let lib = Library::fdsoi28();
+        let nl = rca(8);
+        let ps = gate_output_delays_ps(&nl, &lib);
+        let q = quantize_delays(&nl, &lib);
+        assert_eq!(q.ticks.len(), ps.len());
+        let mut seen_max = 0;
+        for (gate, (ticks, ps)) in nl.gates().iter().zip(q.ticks.iter().zip(&ps)) {
+            for (o, &out) in gate.outs.iter().enumerate() {
+                if out.is_valid() {
+                    assert_eq!(ticks[o] * q.tick_ps, ps[o], "lossless requantization");
+                    assert!(ticks[o] >= 1);
+                    seen_max = seen_max.max(ticks[o]);
+                } else {
+                    assert_eq!(ticks[o], 0);
+                }
+            }
+        }
+        assert_eq!(q.max_ticks, seen_max);
     }
 
     #[test]

@@ -552,6 +552,29 @@ mod tests {
     }
 
     #[test]
+    fn aam_power_activity_statistically_matches_the_pre_bitslice_estimator() {
+        // Statistical-equivalence guard for the power schema bump on a
+        // deep, glitchy array structure (the RCA-side guard lives in
+        // apx_netlist::power). The pinned number was captured from the
+        // retired serial-chain estimator at exactly these settings; the
+        // lane sub-stream semantics may shift it only by sampling noise.
+        use apx_netlist::power::{estimate, PowerSettings};
+        let report = estimate(
+            &Aam::new(16).netlist(),
+            &apx_cells::Library::fdsoi28(),
+            PowerSettings {
+                vectors: 4_000,
+                seed: 0xA9CE55,
+            },
+        );
+        let got = report.transitions_per_op;
+        assert!(
+            (got - 173.40275).abs() / 173.40275 < 0.05,
+            "AAM(16) transitions_per_op {got} vs pre-bitslice 173.40275"
+        );
+    }
+
+    #[test]
     fn aam_netlist_matches_model() {
         for n in [4u32, 6] {
             let op = Aam::new(n);
