@@ -1,0 +1,170 @@
+//! The structured error type of the cache's fleet operations.
+//!
+//! `get`/`put` stay best-effort (a cache is an accelerator, failures
+//! degrade to "recompute"), but the *fleet* operations — packing and
+//! importing archives, garbage collection — move real data between
+//! machines and delete files, so their failures must be loud, typed and
+//! machine-readable. [`CacheError`] is that type: every variant carries
+//! the concrete mismatch (archive vs. local fingerprint, the offending
+//! blob key, the held lock's age), serializes to JSON for `--format
+//! json` consumers, and renders a one-line human message via `Display`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed, serializable failure of a cache fleet operation
+/// (pack / fetch / merge / gc).
+///
+/// The JSON form is the externally tagged enum — e.g.
+/// `{"SchemaMismatch": {"archive": "...", "local": "..."}}` — so scripts
+/// can dispatch on the variant name instead of parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheError {
+    /// The operation needs a cache directory, but this handle is
+    /// disabled (no directory could be derived).
+    Disabled,
+    /// An IO operation failed. `op` names what was being attempted
+    /// (`read archive`, `write blob`, …), `path` where.
+    Io {
+        /// What was being attempted.
+        op: String,
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The archive file is not a well-formed cache archive (unparsable
+    /// JSON, wrong `format` tag, malformed blob entry, …).
+    CorruptArchive {
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The archive was written by an incompatible archive-format
+    /// version of this tool.
+    UnsupportedVersion {
+        /// The archive's format version.
+        archive: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The archive was packed under a different cache schema (report /
+    /// app-sweep schema versions) — its blobs live at addresses this
+    /// build would never look up, so importing them is pure waste and
+    /// likely operator error.
+    SchemaMismatch {
+        /// The schema stamp recorded in the archive.
+        archive: String,
+        /// The schema stamp of this build.
+        local: String,
+    },
+    /// The archive was packed against a different cell-library
+    /// fingerprint: its reports describe different hardware.
+    LibraryMismatch {
+        /// The library fingerprint recorded in the archive.
+        archive: String,
+        /// The local library fingerprint.
+        local: String,
+    },
+    /// A blob entry's recomputed checksum does not match the one
+    /// recorded at pack time: the archive was corrupted or tampered
+    /// with in transit. Nothing is imported.
+    ChecksumMismatch {
+        /// The offending blob's key (32 hex digits).
+        key: String,
+    },
+    /// A strict import (`fetch`) found a local blob under the same key
+    /// with different bytes. Content addressing makes this "impossible"
+    /// for honest archives — it means a hash collision, a schema drift
+    /// that slipped past the key, or a manually edited file — so the
+    /// import refuses rather than guessing which side is right. Use
+    /// `merge` to keep the local side and continue.
+    Collision {
+        /// The offending blob's key (32 hex digits).
+        key: String,
+    },
+    /// The cache's advisory lock is held by another process (a
+    /// concurrent `gc`); retry once it finishes.
+    Busy {
+        /// How long the current holder has held the lock, in seconds.
+        held_secs: u64,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Disabled => {
+                write!(f, "the cache is disabled (no directory could be derived)")
+            }
+            CacheError::Io { op, path, message } => {
+                write!(f, "cannot {op} `{path}`: {message}")
+            }
+            CacheError::CorruptArchive { detail } => {
+                write!(f, "not a valid cache archive: {detail}")
+            }
+            CacheError::UnsupportedVersion { archive, supported } => write!(
+                f,
+                "archive format v{archive} is not supported (this build reads v{supported})"
+            ),
+            CacheError::SchemaMismatch { archive, local } => write!(
+                f,
+                "archive schema mismatch: packed under `{archive}`, this build expects `{local}`"
+            ),
+            CacheError::LibraryMismatch { archive, local } => write!(
+                f,
+                "archive library mismatch: packed against fingerprint {archive}, local library is {local}"
+            ),
+            CacheError::ChecksumMismatch { key } => write!(
+                f,
+                "blob {key} fails its checksum — the archive is corrupt; nothing was imported"
+            ),
+            CacheError::Collision { key } => write!(
+                f,
+                "blob {key} already exists locally with different content; \
+                 `fetch` refuses to overwrite (use `merge` to keep the local copy)"
+            ),
+            CacheError::Busy { held_secs } => write!(
+                f,
+                "the cache is locked by another process (held for {held_secs}s); retry shortly"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl CacheError {
+    /// The error as a compact JSON object (the externally tagged enum),
+    /// for `--format json` consumers and HTTP error bodies.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("error serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_payloads_and_roundtrip_json() {
+        let err = CacheError::SchemaMismatch {
+            archive: "report/v1+app/v1".to_owned(),
+            local: "report/v2+app/v2".to_owned(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("report/v1+app/v1"), "{text}");
+        assert!(text.contains("report/v2+app/v2"), "{text}");
+        let json = err.to_json();
+        assert!(json.contains("SchemaMismatch"), "{json}");
+        let back: CacheError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, err);
+
+        let busy = CacheError::Busy { held_secs: 3 };
+        assert!(busy.to_string().contains("3s"), "{busy}");
+        let collision = CacheError::Collision {
+            key: "ab".repeat(16),
+        };
+        assert!(collision.to_string().contains(&"ab".repeat(16)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Size-capped, LRU-first garbage collection under an advisory lock.
+//!
+//! The cache is an accelerator, so it must never grow without bound on
+//! the machines that benefit from it most (CI runners, the `serve`
+//! daemon's host). `gc` brings the directory down to a byte budget by
+//! evicting the **least recently used** blobs first — "used" meaning
+//! the blob file's modification time, which [`Cache::get`] bumps on
+//! every hit (touch-on-hit), so warm blobs survive and stale ones go.
+//!
+//! Exactly one gc runs at a time per directory: a `gc.lock` file taken
+//! with `O_EXCL` (`create_new`) serves as the advisory lock, with a
+//! stale-steal path (a lock older than [`LOCK_STALE_SECS`] belongs to a
+//! crashed process and is reclaimed). Everything gc deletes is either a
+//! whole blob (readers of a deleted blob see a clean miss — the same
+//! contract as a cold cache) or an abandoned temp file, so gc is safe
+//! to run mid-sweep against live readers and writers.
+
+use crate::error::CacheError;
+use crate::{Cache, Inner};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, SystemTime};
+
+/// Age (seconds) past which a `gc.lock` is considered abandoned by a
+/// crashed process and is stolen. A real gc pass takes milliseconds.
+pub const LOCK_STALE_SECS: u64 = 300;
+
+/// Age (seconds) past which a `*.tmp.*` file is an abandoned write (the
+/// writer crashed between `write` and `rename`) and is swept by gc.
+/// Live writers hold their temp for microseconds.
+const TEMP_STALE_SECS: u64 = 900;
+
+/// What one `gc` pass did, in the same size definition `cache stats`
+/// reports (blob files only; stats records and locks are not counted
+/// and never evicted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcSummary {
+    /// Blobs present when the pass started.
+    pub examined_blobs: u64,
+    /// Their total size in bytes.
+    pub examined_bytes: u64,
+    /// Blobs evicted (LRU-first) to reach the budget.
+    pub evicted_blobs: u64,
+    /// Bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+    /// Blobs remaining after the pass.
+    pub remaining_blobs: u64,
+    /// Bytes remaining after the pass (≤ the budget, unless a single
+    /// blob is larger than the budget — blobs are evicted whole).
+    pub remaining_bytes: u64,
+}
+
+/// Holds `gc.lock` for the duration of a pass; removed on drop.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Takes the directory's advisory gc lock with `O_EXCL` semantics.
+///
+/// A held lock younger than [`LOCK_STALE_SECS`] yields
+/// [`CacheError::Busy`]; an older one is stolen (its holder crashed).
+fn acquire_lock(dir: &Path) -> Result<LockGuard, CacheError> {
+    let path = dir.join("gc.lock");
+    let io_err = |op: &str, e: std::io::Error| CacheError::Io {
+        op: op.to_owned(),
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    std::fs::create_dir_all(dir).map_err(|e| CacheError::Io {
+        op: "create cache dir".to_owned(),
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(_) => return Ok(LockGuard { path }),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let held = std::fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+                    .unwrap_or(Duration::ZERO);
+                if attempt == 0 && held.as_secs() >= LOCK_STALE_SECS {
+                    // the holder crashed mid-pass; reclaim and retry once
+                    std::fs::remove_file(&path).ok();
+                    continue;
+                }
+                return Err(CacheError::Busy {
+                    held_secs: held.as_secs(),
+                });
+            }
+            Err(e) => return Err(io_err("create lock", e)),
+        }
+    }
+    unreachable!("the second attempt always returns");
+}
+
+impl Cache {
+    /// Evicts least-recently-used blobs until the directory's blob bytes
+    /// are ≤ `max_bytes`, under the directory's advisory lock. Also
+    /// sweeps abandoned temp files (crashed writers). Blobs are evicted
+    /// whole, oldest modification time first (ties broken by file name
+    /// for determinism); an evicted blob is simply a future miss.
+    ///
+    /// # Errors
+    /// [`CacheError::Disabled`] without a directory, [`CacheError::Busy`]
+    /// when another process holds the lock, [`CacheError::Io`] when the
+    /// lock cannot be created.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcSummary, CacheError> {
+        let inner = self.inner().ok_or(CacheError::Disabled)?;
+        let _lock = acquire_lock(&inner.dir)?;
+        Ok(self.gc_locked(inner, max_bytes))
+    }
+
+    /// The gc pass itself; the caller holds the lock.
+    fn gc_locked(&self, inner: &Inner, max_bytes: u64) -> GcSummary {
+        self.sweep_stale_temps(inner);
+        // (mtime, name, size, path) — sorting the tuple is LRU-first with
+        // a deterministic name tie-break for same-mtime blobs
+        let mut blobs: Vec<(SystemTime, String, u64, PathBuf)> = self
+            .blob_records()
+            .into_iter()
+            .filter_map(|record| {
+                let meta = std::fs::metadata(&record.path).ok()?;
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                Some((mtime, record.key, meta.len(), record.path))
+            })
+            .collect();
+        blobs.sort();
+        let mut summary = GcSummary {
+            examined_blobs: blobs.len() as u64,
+            examined_bytes: blobs.iter().map(|(_, _, size, _)| size).sum(),
+            ..GcSummary::default()
+        };
+        let mut remaining = summary.examined_bytes;
+        for (_, _, size, path) in &blobs {
+            if remaining <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                remaining -= size;
+                summary.evicted_blobs += 1;
+                summary.evicted_bytes += size;
+                inner.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        summary.remaining_blobs = summary.examined_blobs - summary.evicted_blobs;
+        summary.remaining_bytes = remaining;
+        summary
+    }
+
+    /// Removes temp files whose writer evidently crashed (older than
+    /// [`TEMP_STALE_SECS`]). Fresh temps belong to live writers and are
+    /// left alone.
+    fn sweep_stale_temps(&self, inner: &Inner) {
+        let Ok(entries) = std::fs::read_dir(&inner.dir) else {
+            return;
+        };
+        let now = SystemTime::now();
+        for path in entries.filter_map(|entry| entry.ok().map(|e| e.path())) {
+            if crate::classify(&path) != crate::RecordKind::Temp {
+                continue;
+            }
+            let stale = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_some_and(|age| age.as_secs() >= TEMP_STALE_SECS);
+            if stale {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
+    /// Best-effort re-cap after a write, for caches opened with a
+    /// write-time capacity. Skips silently when another process holds
+    /// the gc lock (that gc will do the capping) or the cache has no
+    /// capacity configured.
+    pub(crate) fn enforce_capacity(&self) {
+        let Some(inner) = self.inner() else {
+            return;
+        };
+        let Some(capacity) = inner.capacity_bytes else {
+            return;
+        };
+        if let Ok(_lock) = acquire_lock(&inner.dir) {
+            self.gc_locked(inner, capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_is_exclusive_and_released_on_drop() {
+        let dir = std::env::temp_dir().join(format!("apx_gc_lock_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let guard = acquire_lock(&dir).unwrap();
+        match acquire_lock(&dir) {
+            Err(CacheError::Busy { held_secs }) => assert!(held_secs < LOCK_STALE_SECS),
+            other => panic!("second acquire must be Busy, got {other:?}"),
+        }
+        drop(guard);
+        let again = acquire_lock(&dir);
+        assert!(again.is_ok(), "lock must be free after drop");
+        drop(again);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_is_stolen() {
+        let dir = std::env::temp_dir().join(format!("apx_gc_stale_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock = dir.join("gc.lock");
+        std::fs::write(&lock, "").unwrap();
+        let crashed = SystemTime::now() - Duration::from_secs(LOCK_STALE_SECS + 60);
+        let file = std::fs::OpenOptions::new().write(true).open(&lock).unwrap();
+        file.set_modified(crashed).unwrap();
+        drop(file);
+        let guard = acquire_lock(&dir);
+        assert!(guard.is_ok(), "a stale lock must be reclaimed: {guard:?}");
+        drop(guard);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

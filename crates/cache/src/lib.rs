@@ -1,5 +1,6 @@
 //! Content-addressed, on-disk JSON blob cache for characterization
-//! results.
+//! results — fleet-grade: portable archives, size-capped eviction, and
+//! concurrent-writer safety.
 //!
 //! PR 2 made every [`OperatorReport`] a **pure function of its inputs**:
 //! reports are bit-identical for any thread count under a fixed seed, so
@@ -13,15 +14,32 @@
 //!   sample counts, cell-library fingerprint, schema version); two runs
 //!   that would compute the same result derive the same key.
 //! * [`Cache`] — a directory of `<key>.json` blobs with atomic writes,
-//!   hit/miss/write counters, and graceful degradation: a missing
-//!   directory, an unwritable disk or a corrupted blob never fails the
-//!   caller — the worst case is always "recompute".
+//!   traffic counters, and graceful degradation: a missing directory,
+//!   an unwritable disk or a corrupted blob never fails the caller —
+//!   the worst case is always "recompute".
+//! * **Fleet operations** — [`Cache::pack`] exports blobs as one
+//!   portable, fingerprint-stamped archive and [`Cache::import`] brings
+//!   one in with per-blob verification (see [`mod@archive`]);
+//!   [`Cache::gc`] evicts LRU-first down to a byte budget under an
+//!   advisory lock (see [`mod@gc`]); every write (blob, stats record,
+//!   import) goes through unique-temp + atomic-rename, so parallel
+//!   processes sharing one directory never tear anything.
 //!
-//! The cache is wired into `apx_core::Characterizer` and the `apxperf`
-//! CLI; the default location is `~/.cache/apxperf` (see
-//! [`Cache::default_dir`]), overridable with `--cache-dir` or the
-//! `APXPERF_CACHE_DIR` environment variable, and `--no-cache` maps to
-//! [`Cache::disabled`].
+//! Handles are opened through the [`CacheConfig`] builder:
+//!
+//! ```no_run
+//! use apx_cache::Cache;
+//! // explicit directory, 256 MiB write-time cap:
+//! let cache = Cache::builder()
+//!     .dir("/tmp/apxperf-cache")
+//!     .capacity_bytes(256 << 20)
+//!     .open();
+//! // environment resolution ($APXPERF_CACHE_DIR, XDG, $HOME) instead:
+//! let env_cache = Cache::builder().from_env().open();
+//! // no cache at all (`--no-cache`):
+//! let off = Cache::default();
+//! assert!(!off.is_enabled());
+//! ```
 //!
 //! # Example
 //!
@@ -29,7 +47,7 @@
 //! use apx_cache::{Cache, KeyBuilder};
 //!
 //! let dir = std::env::temp_dir().join(format!("apx_cache_doc_{}", std::process::id()));
-//! let cache = Cache::at(&dir);
+//! let cache = Cache::builder().dir(&dir).open();
 //!
 //! let key = KeyBuilder::new("demo-schema/v1")
 //!     .push_str("operator", "ACA(16,4)")
@@ -51,11 +69,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
+mod error;
+pub mod gc;
+
+pub use archive::{ArchiveStamp, ImportMode, ImportSummary, PackSummary};
+pub use error::CacheError;
+pub use gc::GcSummary;
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::SystemTime;
 
 /// FNV-1a 64-bit offset basis (stream 0).
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -179,7 +206,13 @@ impl KeyBuilder {
     }
 }
 
-/// Hit/miss/write counters of one [`Cache`] handle (shared by clones).
+/// One cache handle's view of its traffic **and** its directory's size.
+///
+/// `hits`/`misses`/`writes`/`evictions`/`imports` are this handle's
+/// in-process counters (shared by clones); `blobs`/`bytes` are measured
+/// from disk at the moment [`Cache::stats`] is called, using the same
+/// blob classification `gc` budgets against — so `cache stats` and
+/// `gc --max-bytes` agree on one definition of size.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Blobs found and successfully deserialized.
@@ -188,64 +221,220 @@ pub struct CacheStats {
     pub misses: u64,
     /// Blobs written.
     pub writes: u64,
+    /// Blobs evicted by this handle's gc passes (explicit `gc` calls and
+    /// write-time capacity enforcement).
+    pub evictions: u64,
+    /// Blobs imported from archives by this handle.
+    pub imports: u64,
+    /// Blob files currently on disk (stats records, locks and temp files
+    /// are classified out — see [`RecordKind`]).
+    pub blobs: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
 }
 
 #[derive(Debug, Default)]
-struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    writes: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) imports: AtomicU64,
 }
 
 #[derive(Debug)]
-struct Inner {
-    dir: PathBuf,
-    counters: Counters,
+pub(crate) struct Inner {
+    pub(crate) dir: PathBuf,
+    pub(crate) counters: Counters,
+    pub(crate) capacity_bytes: Option<u64>,
+}
+
+/// What one file inside a cache directory is.
+///
+/// The directory holds more than blobs — run-stats records, the gc
+/// lock, in-flight atomic-write temps, and whatever a user drops in by
+/// hand. Every operation that enumerates the directory (`len`, `clear`,
+/// `gc`, `pack`, `stats`) classifies through this enum so each kind is
+/// handled by exactly the operations that own it: `clear` and `gc`
+/// touch only [`RecordKind::Blob`]s, gc's temp sweep only
+/// [`RecordKind::Temp`]s, and [`RecordKind::Other`] files are never
+/// deleted by anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A content-addressed result blob: `<32 lowercase hex>.json`.
+    Blob,
+    /// A persisted last-run stats record: `last-run-stats.*`.
+    RunStats,
+    /// An advisory lock: `*.lock`.
+    Lock,
+    /// An in-flight (or abandoned) atomic-write temp: contains `.tmp.`.
+    Temp,
+    /// Anything else; foreign files are left untouched.
+    Other,
+}
+
+/// Classifies one path (by file name alone) into a [`RecordKind`].
+#[must_use]
+pub fn classify(path: &Path) -> RecordKind {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return RecordKind::Other;
+    };
+    // temps first: a stats record's in-flight temp ("last-run-stats.v2
+    // .tmp.<pid>.<seq>") is a temp, not a stats record
+    if name.contains(".tmp.") {
+        return RecordKind::Temp;
+    }
+    if name.starts_with("last-run-stats.") {
+        return RecordKind::RunStats;
+    }
+    if name.ends_with(".lock") {
+        return RecordKind::Lock;
+    }
+    if let Some(stem) = name.strip_suffix(".json") {
+        if stem.len() == 32
+            && stem
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            return RecordKind::Blob;
+        }
+    }
+    RecordKind::Other
+}
+
+/// Opens a [`Cache`]: where it lives, whether the environment may
+/// decide, and how big it may grow. Built by [`Cache::builder`].
+///
+/// Resolution order in [`CacheConfig::open`]:
+/// 1. an explicit [`dir`](CacheConfig::dir) always wins;
+/// 2. otherwise, with [`from_env`](CacheConfig::from_env), the
+///    directory comes from `$APXPERF_CACHE_DIR`, then
+///    `$XDG_CACHE_HOME/apxperf`, then `$HOME/.cache/apxperf`
+///    (see [`Cache::default_dir`]);
+/// 3. otherwise the handle is disabled (every `get` misses, every
+///    `put` is dropped) — the default, and what `--no-cache` maps to.
+///
+/// A capacity set via [`capacity_bytes`](CacheConfig::capacity_bytes)
+/// (or, under `from_env`, the `APXPERF_CACHE_CAPACITY` variable, in
+/// bytes) makes every write re-cap the directory LRU-first, so the
+/// cache never outgrows its budget between explicit `gc` runs.
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    dir: Option<PathBuf>,
+    from_env: bool,
+    capacity_bytes: Option<u64>,
+}
+
+impl CacheConfig {
+    /// Roots the cache at `dir` (created on first write). Overrides
+    /// environment resolution.
+    #[must_use]
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Lets the environment supply whatever is not set explicitly: the
+    /// directory (`$APXPERF_CACHE_DIR` / XDG / `$HOME`) and the
+    /// write-time capacity (`$APXPERF_CACHE_CAPACITY`, bytes).
+    #[must_use]
+    pub fn from_env(mut self) -> Self {
+        self.from_env = true;
+        self
+    }
+
+    /// Caps the directory at `bytes`: after every write, least-recently
+    /// used blobs are evicted until the blob bytes fit the budget.
+    #[must_use]
+    pub fn capacity_bytes(mut self, bytes: u64) -> Self {
+        self.capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Resolves the configuration into a handle. Never fails: an
+    /// unresolvable directory yields a disabled cache, which is the
+    /// correct degraded mode everywhere this crate is used.
+    #[must_use]
+    pub fn open(self) -> Cache {
+        let dir = self
+            .dir
+            .or_else(|| self.from_env.then(Cache::default_dir).flatten());
+        let capacity_bytes = self.capacity_bytes.or_else(|| {
+            self.from_env
+                .then(|| {
+                    std::env::var("APXPERF_CACHE_CAPACITY")
+                        .ok()
+                        .and_then(|v| v.trim().parse().ok())
+                })
+                .flatten()
+        });
+        match dir {
+            Some(dir) => Cache {
+                inner: Some(Arc::new(Inner {
+                    dir,
+                    counters: Counters::default(),
+                    capacity_bytes,
+                })),
+            },
+            None => Cache { inner: None },
+        }
+    }
 }
 
 /// A content-addressed store of JSON blobs under one directory.
 ///
 /// * **Cheap to clone** — clones share the directory and the counters,
 ///   so a sweep can hand one handle to every parallel task.
-/// * **Best-effort** — IO failures (missing directory, full or read-only
-///   disk, corrupted blob) are never surfaced as errors; a failed read
-///   counts as a miss and a failed write is dropped. The caller's
-///   fallback is always "recompute", which is exactly what it would have
-///   done without a cache.
-/// * **Self-validating** — a blob that no longer deserializes (truncated
-///   write, schema drift that slipped past the key, manual tampering) is
-///   treated as a miss and deleted so the next `put` replaces it.
+/// * **Best-effort** on the hot path — `get`/`put` IO failures (missing
+///   directory, full or read-only disk, corrupted blob) are never
+///   surfaced as errors; a failed read counts as a miss and a failed
+///   write is dropped. The caller's fallback is always "recompute".
+///   Fleet operations ([`Cache::pack`], [`Cache::import`],
+///   [`Cache::gc`]) move real data and delete files, so they *do*
+///   return [`CacheError`]s.
+/// * **Self-validating** — a blob that no longer deserializes
+///   (truncated write, schema drift that slipped past the key, manual
+///   tampering) is treated as a miss and deleted so the next `put`
+///   replaces it.
+/// * **Safe under concurrent writers** — every on-disk mutation goes
+///   through a per-call-unique temp file and an atomic rename, and gc
+///   runs under an advisory lock, so parallel processes over one
+///   directory see only whole records.
 ///
-/// See the [crate docs](crate) for a usage example.
+/// The default handle is disabled (no directory); see the
+/// [crate docs](crate) and [`Cache::builder`] for opening one.
 #[derive(Debug, Clone, Default)]
 pub struct Cache {
     inner: Option<Arc<Inner>>,
 }
 
 impl Cache {
+    /// Starts a [`CacheConfig`] builder; finish with
+    /// [`CacheConfig::open`].
+    #[must_use]
+    pub fn builder() -> CacheConfig {
+        CacheConfig::default()
+    }
+
     /// A cache rooted at `dir` (created on first write).
+    #[deprecated(note = "use `Cache::builder().dir(dir).open()`")]
     #[must_use]
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        Cache {
-            inner: Some(Arc::new(Inner {
-                dir: dir.into(),
-                counters: Counters::default(),
-            })),
-        }
+        Cache::builder().dir(dir).open()
     }
 
     /// A disabled cache: every `get` misses, every `put` is dropped.
-    /// This is what `--no-cache` maps to.
+    #[deprecated(note = "use `Cache::default()` (or `Cache::builder().open()`)")]
     #[must_use]
     pub fn disabled() -> Self {
-        Cache { inner: None }
+        Cache::default()
     }
 
     /// The default on-disk location, in precedence order:
     /// `$APXPERF_CACHE_DIR`, `$XDG_CACHE_HOME/apxperf`,
     /// `$HOME/.cache/apxperf`. `None` when none of the variables is set
-    /// (e.g. a bare CI environment), in which case callers should fall
-    /// back to [`Cache::disabled`].
+    /// (e.g. a bare CI environment), in which case
+    /// [`CacheConfig::open`] degrades to a disabled handle.
     #[must_use]
     pub fn default_dir() -> Option<PathBuf> {
         let nonempty = |var: &str| std::env::var_os(var).filter(|v| !v.is_empty());
@@ -260,12 +449,10 @@ impl Cache {
 
     /// A cache at [`Cache::default_dir`], or a disabled one when no
     /// default location exists.
+    #[deprecated(note = "use `Cache::builder().from_env().open()`")]
     #[must_use]
     pub fn from_env() -> Self {
-        match Cache::default_dir() {
-            Some(dir) => Cache::at(dir),
-            None => Cache::disabled(),
-        }
+        Cache::builder().from_env().open()
     }
 
     /// Whether lookups can ever hit (i.e. the cache has a directory).
@@ -280,6 +467,10 @@ impl Cache {
         self.inner.as_deref().map(|inner| inner.dir.as_path())
     }
 
+    pub(crate) fn inner(&self) -> Option<&Inner> {
+        self.inner.as_deref()
+    }
+
     fn blob_path(inner: &Inner, key: &CacheKey) -> PathBuf {
         inner.dir.join(format!("{key}.json"))
     }
@@ -288,7 +479,9 @@ impl Cache {
     ///
     /// Absent, unreadable and corrupt blobs all return `None` (and count
     /// as misses); corrupt blobs are additionally deleted so they cannot
-    /// shadow a future write.
+    /// shadow a future write. A hit bumps the blob's modification time
+    /// (touch-on-hit), which is the last-touch metadata [`Cache::gc`]'s
+    /// LRU ordering evicts by — recently useful blobs survive a cap.
     #[must_use]
     pub fn get<T: Deserialize>(&self, key: &CacheKey) -> Option<T> {
         let inner = self.inner.as_deref()?;
@@ -298,6 +491,12 @@ impl Cache {
             .and_then(|text| serde_json::from_str::<T>(&text).ok());
         match parsed {
             Some(value) => {
+                // touch-on-hit: best-effort — a read-only cache dir
+                // still hits, its LRU order just stays write-ordered
+                let _ = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .and_then(|file| file.set_modified(SystemTime::now()));
                 inner.counters.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
@@ -313,10 +512,39 @@ impl Cache {
         }
     }
 
-    /// Stores `value` under `key`, atomically (write to a temporary file
-    /// in the same directory, then rename): a concurrent reader sees
-    /// either the old blob or the new one, never a torn write. Failures
-    /// are dropped — the cache is an accelerator, not a system of record.
+    /// Writes `body` to `name` inside the cache directory via a
+    /// per-call-unique temp file and an atomic rename: a concurrent
+    /// reader sees either the old record or the new one, never a torn
+    /// write. Returns whether the record landed.
+    pub(crate) fn write_record_atomic(&self, name: &str, body: &str) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        if std::fs::create_dir_all(&inner.dir).is_err() {
+            return false;
+        }
+        let path = inner.dir.join(name);
+        // unique per process AND per call: concurrent same-name writes
+        // (engine threads storing the shared full-width partner
+        // multiplier; the serve daemon persisting stats after every
+        // drained job) must never share a temp file, or one writer's
+        // truncate could tear another's in-flight rename
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = inner
+            .dir
+            .join(format!("{name}.tmp.{}.{seq}", std::process::id()));
+        if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            true
+        } else {
+            std::fs::remove_file(&tmp).ok();
+            false
+        }
+    }
+
+    /// Stores `value` under `key`, atomically. Failures are dropped —
+    /// the cache is an accelerator, not a system of record. On a handle
+    /// opened with a capacity, a landed write re-caps the directory.
     pub fn put<T: Serialize>(&self, key: &CacheKey, value: &T) {
         let Some(inner) = self.inner.as_deref() else {
             return;
@@ -324,30 +552,17 @@ impl Cache {
         let Ok(json) = serde_json::to_string_pretty(value) else {
             return;
         };
-        if std::fs::create_dir_all(&inner.dir).is_err() {
-            return;
-        }
-        let path = Cache::blob_path(inner, key);
-        // unique per process AND per call: concurrent same-key puts from
-        // engine threads (e.g. every approximate adder storing the shared
-        // full-width partner multiplier) must never share a temp file, or
-        // one writer's truncate could tear another's in-flight blob
-        static PUT_SEQ: AtomicU64 = AtomicU64::new(0);
-        let seq = PUT_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = inner
-            .dir
-            .join(format!("{key}.tmp.{}.{seq}", std::process::id()));
-        if std::fs::write(&tmp, json + "\n").is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+        if self.write_record_atomic(&format!("{key}.json"), &(json + "\n")) {
             inner.counters.writes.fetch_add(1, Ordering::Relaxed);
-        } else {
-            std::fs::remove_file(&tmp).ok();
+            self.enforce_capacity();
         }
     }
 
-    /// Number of blobs currently stored.
+    /// Number of blobs currently stored (other record kinds — stats,
+    /// locks, temps — are not counted).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.blob_paths().len()
+        self.blob_records().len()
     }
 
     /// Whether the cache holds no blobs.
@@ -356,31 +571,24 @@ impl Cache {
         self.len() == 0
     }
 
-    /// Deletes every blob; returns how many were removed.
+    /// Deletes every blob; returns how many were removed. Stats records,
+    /// locks, in-flight temps and foreign files are left in place — only
+    /// [`RecordKind::Blob`]s are cleared.
     pub fn clear(&self) -> usize {
-        self.blob_paths()
+        self.blob_records()
             .into_iter()
-            .filter(|path| std::fs::remove_file(path).is_ok())
+            .filter(|record| std::fs::remove_file(&record.path).is_ok())
             .count()
     }
 
-    fn blob_paths(&self) -> Vec<PathBuf> {
-        let Some(inner) = self.inner.as_deref() else {
-            return Vec::new();
-        };
-        let Ok(entries) = std::fs::read_dir(&inner.dir) else {
-            return Vec::new();
-        };
-        entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
-            .collect()
-    }
-
     /// File (inside the cache directory) holding the counters of the
-    /// most recent run that called [`Cache::persist_run_stats`].
-    /// Deliberately **not** a `.json` file so it never counts as a blob.
-    const RUN_STATS_FILE: &'static str = "last-run-stats.v1";
+    /// most recent run that called [`Cache::persist_run_stats`]. The
+    /// `.v2` suffix versions the record's shape (v2 added eviction /
+    /// import / size fields; the vendored serde errors on missing
+    /// fields, so old `*.v1` records are simply ignored, never
+    /// misparsed), and the `last-run-stats.` prefix is what
+    /// [`classify`] keys the [`RecordKind::RunStats`] class on.
+    const RUN_STATS_FILE: &'static str = "last-run-stats.v2";
 
     /// Persists this handle's current counters as the directory's
     /// "last run" record, so a later process (e.g. `apxperf cache stats
@@ -388,29 +596,8 @@ impl Cache {
     /// run's cache traffic was. Best-effort and atomic, like blob
     /// writes; a disabled cache ignores the call.
     pub fn persist_run_stats(&self) {
-        let Some(inner) = self.inner.as_deref() else {
-            return;
-        };
-        let Ok(json) = serde_json::to_string_pretty(&self.stats()) else {
-            return;
-        };
-        if std::fs::create_dir_all(&inner.dir).is_err() {
-            return;
-        }
-        let path = inner.dir.join(Cache::RUN_STATS_FILE);
-        // unique per process AND per call, exactly like `put`: the serve
-        // daemon persists after every cold report and after every drained
-        // job, so concurrent in-process persists must never share a temp
-        // file — one writer's truncate could tear another's rename
-        static PERSIST_SEQ: AtomicU64 = AtomicU64::new(0);
-        let seq = PERSIST_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = inner.dir.join(format!(
-            "{}.tmp.{}.{seq}",
-            Cache::RUN_STATS_FILE,
-            std::process::id()
-        ));
-        if std::fs::write(&tmp, json + "\n").is_err() || std::fs::rename(&tmp, &path).is_err() {
-            std::fs::remove_file(&tmp).ok();
+        if let Ok(json) = serde_json::to_string_pretty(&self.stats()) {
+            self.write_record_atomic(Cache::RUN_STATS_FILE, &(json + "\n"));
         }
     }
 
@@ -423,17 +610,37 @@ impl Cache {
         serde_json::from_str(&text).ok()
     }
 
-    /// This handle's counters (shared across clones).
+    /// This handle's counters (shared across clones) plus the
+    /// directory's current blob count and byte size, measured with the
+    /// same classification [`Cache::gc`] budgets against.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         match self.inner.as_deref() {
-            Some(inner) => CacheStats {
-                hits: inner.counters.hits.load(Ordering::Relaxed),
-                misses: inner.counters.misses.load(Ordering::Relaxed),
-                writes: inner.counters.writes.load(Ordering::Relaxed),
-            },
+            Some(inner) => {
+                let (blobs, bytes) = self.measure();
+                CacheStats {
+                    hits: inner.counters.hits.load(Ordering::Relaxed),
+                    misses: inner.counters.misses.load(Ordering::Relaxed),
+                    writes: inner.counters.writes.load(Ordering::Relaxed),
+                    evictions: inner.counters.evictions.load(Ordering::Relaxed),
+                    imports: inner.counters.imports.load(Ordering::Relaxed),
+                    blobs,
+                    bytes,
+                }
+            }
             None => CacheStats::default(),
         }
+    }
+
+    /// The directory's blob count and total blob bytes — the one size
+    /// definition shared by `stats`, `gc` and the write-time cap.
+    fn measure(&self) -> (u64, u64) {
+        self.blob_records()
+            .into_iter()
+            .fold((0, 0), |(blobs, bytes), record| {
+                let size = std::fs::metadata(&record.path).map_or(0, |m| m.len());
+                (blobs + 1, bytes + size)
+            })
     }
 }
 
@@ -463,6 +670,10 @@ mod tests {
         }
     }
 
+    fn cache_at(dir: &Path) -> Cache {
+        Cache::builder().dir(dir).open()
+    }
+
     fn key(tag: &str) -> CacheKey {
         KeyBuilder::new("test/v1").push_str("tag", tag).finish()
     }
@@ -470,19 +681,17 @@ mod tests {
     #[test]
     fn put_then_get_roundtrips() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         let k = key("roundtrip");
         assert_eq!(cache.get::<Vec<u64>>(&k), None);
         cache.put(&k, &vec![1u64, 2, 3]);
         assert_eq!(cache.get::<Vec<u64>>(&k), Some(vec![1, 2, 3]));
+        let stats = cache.stats();
         assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                writes: 1
-            }
+            (stats.hits, stats.misses, stats.writes, stats.blobs),
+            (1, 1, 1, 1)
         );
+        assert!(stats.bytes > 0, "a stored blob has measurable size");
         assert_eq!(cache.len(), 1);
     }
 
@@ -512,7 +721,7 @@ mod tests {
     #[test]
     fn corrupted_blob_is_a_miss_and_gets_deleted() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         let k = key("corrupt");
         cache.put(&k, &vec![9u64]);
         let path = tmp.0.join(format!("{k}.json"));
@@ -527,7 +736,7 @@ mod tests {
     #[test]
     fn wrong_shape_blob_is_a_miss() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         let k = key("shape");
         cache.put(&k, &"a string".to_owned());
         // valid JSON, wrong type for the requested T
@@ -536,7 +745,7 @@ mod tests {
 
     #[test]
     fn disabled_cache_never_stores_or_hits() {
-        let cache = Cache::disabled();
+        let cache = Cache::default();
         let k = key("disabled");
         cache.put(&k, &vec![1u64]);
         assert_eq!(cache.get::<Vec<u64>>(&k), None);
@@ -548,9 +757,29 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_constructors_match_the_builder() {
+        #![allow(deprecated)]
+        let tmp = TempDir::new();
+        assert_eq!(Cache::at(&tmp.0).dir(), cache_at(&tmp.0).dir());
+        assert!(!Cache::disabled().is_enabled());
+        assert_eq!(
+            Cache::from_env().dir(),
+            Cache::builder().from_env().open().dir()
+        );
+    }
+
+    #[test]
+    fn builder_explicit_dir_beats_env_and_default_is_disabled() {
+        let tmp = TempDir::new();
+        let explicit = Cache::builder().dir(&tmp.0).from_env().open();
+        assert_eq!(explicit.dir(), Some(tmp.0.as_path()));
+        assert!(!Cache::builder().open().is_enabled());
+    }
+
+    #[test]
     fn clear_removes_all_blobs() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         for i in 0..5u64 {
             cache.put(&key(&format!("blob{i}")), &i);
         }
@@ -560,9 +789,47 @@ mod tests {
     }
 
     #[test]
+    fn clear_and_len_touch_only_blob_records() {
+        let tmp = TempDir::new();
+        let cache = cache_at(&tmp.0);
+        cache.put(&key("real"), &1u64);
+        cache.persist_run_stats();
+        // foreign and infrastructure files of every other kind:
+        std::fs::write(tmp.0.join("gc.lock"), "").unwrap();
+        std::fs::write(tmp.0.join(format!("{}.tmp.1.2", key("real"))), "{").unwrap();
+        std::fs::write(tmp.0.join("notes.json"), "{}").unwrap(); // not a 32-hex stem
+        std::fs::write(tmp.0.join("README"), "hands off").unwrap();
+        assert_eq!(cache.len(), 1, "only the real blob counts");
+        assert_eq!(cache.clear(), 1, "only the real blob is removed");
+        // everything else survives, and stats still parse sanely
+        assert!(tmp.0.join(Cache::RUN_STATS_FILE).exists());
+        assert!(tmp.0.join("gc.lock").exists());
+        assert!(tmp.0.join("notes.json").exists());
+        assert!(tmp.0.join("README").exists());
+        let stats = cache.stats();
+        assert_eq!((stats.blobs, stats.bytes), (0, 0));
+        assert!(cache.last_run_stats().is_some());
+    }
+
+    #[test]
+    fn classification_covers_every_record_kind() {
+        let class = |name: &str| classify(Path::new(name));
+        assert_eq!(class(&format!("{}.json", key("x"))), RecordKind::Blob);
+        assert_eq!(class("last-run-stats.v2"), RecordKind::RunStats);
+        assert_eq!(class("last-run-stats.v1"), RecordKind::RunStats);
+        assert_eq!(class("gc.lock"), RecordKind::Lock);
+        assert_eq!(class("last-run-stats.v2.tmp.7.9"), RecordKind::Temp);
+        assert_eq!(class(&format!("{}.tmp.7.9", key("x"))), RecordKind::Temp);
+        assert_eq!(class("notes.json"), RecordKind::Other);
+        assert_eq!(class(&format!("{}.JSON", key("x"))), RecordKind::Other);
+        let upper = key("x").hex().to_uppercase();
+        assert_eq!(class(&format!("{upper}.json")), RecordKind::Other);
+    }
+
+    #[test]
     fn run_stats_persist_across_handles_and_never_count_as_blobs() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         assert_eq!(cache.last_run_stats(), None, "nothing persisted yet");
         cache.put(&key("a"), &1u64);
         let _ = cache.get::<u64>(&key("a"));
@@ -570,20 +837,15 @@ mod tests {
         cache.persist_run_stats();
         assert_eq!(cache.len(), 1, "the stats record is not a blob");
         // a fresh handle over the same directory reads the previous run
-        let later = Cache::at(&tmp.0);
-        assert_eq!(
-            later.last_run_stats(),
-            Some(CacheStats {
-                hits: 1,
-                misses: 1,
-                writes: 1
-            })
-        );
+        let later = cache_at(&tmp.0);
+        let last = later.last_run_stats().expect("persisted record");
+        assert_eq!((last.hits, last.misses, last.writes), (1, 1, 1));
+        assert_eq!(last.blobs, 1, "size was measured at persist time");
         // clearing blobs leaves the record in place; disabled caches
         // neither write nor read one
         cache.clear();
         assert_eq!(later.last_run_stats().map(|s| s.hits), Some(1));
-        let off = Cache::disabled();
+        let off = Cache::default();
         off.persist_run_stats();
         assert_eq!(off.last_run_stats(), None);
     }
@@ -595,7 +857,7 @@ mod tests {
         // with atomic renames and call-unique temp files, a reader must
         // always see a complete record — never a torn or vanished file
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         cache.put(&key("warmup"), &0u64);
         let _ = cache.get::<u64>(&key("warmup"));
         cache.persist_run_stats();
@@ -631,7 +893,7 @@ mod tests {
     #[test]
     fn clones_share_storage_and_counters() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = cache_at(&tmp.0);
         let clone = cache.clone();
         let k = key("shared");
         clone.put(&k, &vec![5u64]);
@@ -651,5 +913,327 @@ mod tests {
                 assert!(dir.ends_with(".cache/apxperf"));
             }
         }
+    }
+
+    // ---- fleet operations: gc, capacity, archives ----
+
+    /// Backdates a blob's mtime so LRU ordering is deterministic in
+    /// tests regardless of filesystem timestamp granularity.
+    fn backdate(path: &Path, secs_ago: u64) {
+        let when = SystemTime::now() - std::time::Duration::from_secs(secs_ago);
+        let file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        file.set_modified(when).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_lru_first_down_to_the_budget() {
+        let tmp = TempDir::new();
+        let cache = cache_at(&tmp.0);
+        let keys: Vec<CacheKey> = (0..4u64).map(|i| key(&format!("gc{i}"))).collect();
+        for (i, k) in keys.iter().enumerate() {
+            cache.put(k, &vec![i as u64; 16]);
+        }
+        // oldest first: gc0 is stalest, gc3 freshest
+        for (i, k) in keys.iter().enumerate() {
+            backdate(&tmp.0.join(format!("{k}.json")), 1000 - 100 * i as u64);
+        }
+        let blob_size = std::fs::metadata(tmp.0.join(format!("{}.json", keys[0])))
+            .unwrap()
+            .len();
+        // budget for roughly two blobs (sizes differ by a few digits)
+        let budget = 2 * blob_size + blob_size / 2;
+        let summary = cache.gc(budget).unwrap();
+        assert_eq!(summary.examined_blobs, 4);
+        assert_eq!(summary.evicted_blobs, 2);
+        assert!(summary.remaining_bytes <= budget);
+        assert_eq!(summary.remaining_blobs, 2);
+        // the two *stalest* went; the two freshest survived
+        assert_eq!(cache.get::<Vec<u64>>(&keys[0]), None);
+        assert_eq!(cache.get::<Vec<u64>>(&keys[1]), None);
+        assert!(cache.get::<Vec<u64>>(&keys[2]).is_some());
+        assert!(cache.get::<Vec<u64>>(&keys[3]).is_some());
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(!tmp.0.join("gc.lock").exists(), "lock released");
+    }
+
+    #[test]
+    fn touch_on_hit_protects_recently_used_blobs_from_gc() {
+        let tmp = TempDir::new();
+        let cache = cache_at(&tmp.0);
+        let old = key("touched-old");
+        let fresh = key("untouched-fresh");
+        cache.put(&old, &vec![1u64; 16]);
+        cache.put(&fresh, &vec![2u64; 16]);
+        backdate(&tmp.0.join(format!("{old}.json")), 5000);
+        backdate(&tmp.0.join(format!("{fresh}.json")), 100);
+        // a hit on the stale blob bumps its mtime past the other's
+        assert!(cache.get::<Vec<u64>>(&old).is_some());
+        let one_blob = std::fs::metadata(tmp.0.join(format!("{fresh}.json")))
+            .unwrap()
+            .len();
+        let summary = cache.gc(one_blob + one_blob / 2).unwrap();
+        assert_eq!(summary.evicted_blobs, 1);
+        assert!(
+            cache.get::<Vec<u64>>(&old).is_some(),
+            "the touched blob must survive"
+        );
+    }
+
+    #[test]
+    fn write_time_capacity_caps_the_directory() {
+        let tmp = TempDir::new();
+        let probe = cache_at(&tmp.0);
+        probe.put(&key("probe"), &vec![0u64; 16]);
+        let blob_size = probe.stats().bytes;
+        probe.clear();
+        let capped = Cache::builder()
+            .dir(&tmp.0)
+            .capacity_bytes(3 * blob_size)
+            .open();
+        for i in 0..10u64 {
+            capped.put(&key(&format!("cap{i}")), &vec![i; 16]);
+        }
+        let stats = capped.stats();
+        assert!(
+            stats.bytes <= 3 * blob_size,
+            "dir must stay under the cap: {} > {}",
+            stats.bytes,
+            3 * blob_size
+        );
+        assert!(stats.evictions >= 7, "evictions counted: {stats:?}");
+        assert!(!tmp.0.join("gc.lock").exists(), "lock released");
+    }
+
+    #[test]
+    fn gc_sweeps_stale_temps_but_not_fresh_ones() {
+        let tmp = TempDir::new();
+        let cache = cache_at(&tmp.0);
+        cache.put(&key("keep"), &1u64);
+        let stale = tmp.0.join(format!("{}.tmp.1.1", key("a")));
+        let fresh = tmp.0.join(format!("{}.tmp.1.2", key("b")));
+        std::fs::write(&stale, "{").unwrap();
+        std::fs::write(&fresh, "{").unwrap();
+        backdate(&stale, 100_000);
+        cache.gc(u64::MAX).unwrap();
+        assert!(!stale.exists(), "abandoned temp swept");
+        assert!(fresh.exists(), "live writer's temp untouched");
+        assert_eq!(cache.len(), 1, "no blob harmed");
+    }
+
+    #[test]
+    fn gc_on_disabled_cache_is_a_structured_error() {
+        match Cache::default().gc(0) {
+            Err(CacheError::Disabled) => {}
+            other => panic!("expected Disabled, got {other:?}"),
+        }
+    }
+
+    fn stamp() -> ArchiveStamp {
+        ArchiveStamp {
+            schema: "test/v1".to_owned(),
+            library: "ab".repeat(16),
+        }
+    }
+
+    #[test]
+    fn pack_then_fetch_restores_byte_identical_blobs() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        for i in 0..3u64 {
+            src.put(&key(&format!("pk{i}")), &vec![i; 8]);
+        }
+        let archive = tmp.0.join("warm.apxcache");
+        let packed = src.pack(&archive, &stamp(), None).unwrap();
+        assert_eq!(packed.packed, 3);
+        assert!(packed.bytes > 0);
+        assert_eq!(packed.missing, 0);
+
+        let dst = cache_at(&tmp.0.join("dst"));
+        let imported = dst.import(&archive, &stamp(), ImportMode::Fetch).unwrap();
+        assert_eq!(imported.imported, 3);
+        assert_eq!(imported.already_present, 0);
+        assert_eq!(imported.conflicts, 0);
+        assert_eq!(dst.stats().imports, 3);
+        // byte-identical restore, blob by blob
+        for i in 0..3u64 {
+            let name = format!("{}.json", key(&format!("pk{i}")));
+            let a = std::fs::read(tmp.0.join("src").join(&name)).unwrap();
+            let b = std::fs::read(tmp.0.join("dst").join(&name)).unwrap();
+            assert_eq!(a, b, "restored blob differs: {name}");
+        }
+        // re-import is a no-op
+        let again = dst.import(&archive, &stamp(), ImportMode::Fetch).unwrap();
+        assert_eq!(again.imported, 0);
+        assert_eq!(again.already_present, 3);
+    }
+
+    #[test]
+    fn pack_with_key_filter_selects_and_reports_missing() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        src.put(&key("want"), &1u64);
+        src.put(&key("skip"), &2u64);
+        let archive = tmp.0.join("sel.apxcache");
+        let wanted = [key("want"), key("absent")];
+        let packed = src.pack(&archive, &stamp(), Some(&wanted)).unwrap();
+        assert_eq!(packed.packed, 1, "only the selected, present blob");
+        assert_eq!(packed.missing, 1, "the absent selection is reported");
+        let dst = cache_at(&tmp.0.join("dst"));
+        dst.import(&archive, &stamp(), ImportMode::Fetch).unwrap();
+        assert!(dst.get::<u64>(&key("want")).is_some());
+        assert_eq!(dst.get::<u64>(&key("skip")), None, "unselected not packed");
+    }
+
+    #[test]
+    fn packing_twice_yields_byte_identical_archives() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        for i in 0..3u64 {
+            src.put(&key(&format!("det{i}")), &vec![i; 4]);
+        }
+        let a = tmp.0.join("a.apxcache");
+        let b = tmp.0.join("b.apxcache");
+        src.pack(&a, &stamp(), None).unwrap();
+        src.pack(&b, &stamp(), None).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+
+    #[test]
+    fn mismatched_archives_are_rejected_with_structured_errors() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        src.put(&key("m"), &1u64);
+        let archive = tmp.0.join("m.apxcache");
+        src.pack(&archive, &stamp(), None).unwrap();
+
+        let dst = cache_at(&tmp.0.join("dst"));
+        let other_schema = ArchiveStamp {
+            schema: "test/v2".to_owned(),
+            ..stamp()
+        };
+        match dst.import(&archive, &other_schema, ImportMode::Merge) {
+            Err(CacheError::SchemaMismatch { archive, local }) => {
+                assert_eq!(archive, "test/v1");
+                assert_eq!(local, "test/v2");
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+        let other_lib = ArchiveStamp {
+            library: "cd".repeat(16),
+            ..stamp()
+        };
+        match dst.import(&archive, &other_lib, ImportMode::Fetch) {
+            Err(CacheError::LibraryMismatch { .. }) => {}
+            other => panic!("expected LibraryMismatch, got {other:?}"),
+        }
+        assert!(dst.is_empty(), "nothing imported from a rejected archive");
+
+        // not-an-archive file
+        let junk = tmp.0.join("junk.apxcache");
+        std::fs::write(&junk, "{\"format\": \"something-else\"}").unwrap();
+        assert!(matches!(
+            dst.import(&junk, &stamp(), ImportMode::Fetch),
+            Err(CacheError::CorruptArchive { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_archive_blob_rejects_the_whole_import() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        src.put(&key("c1"), &1u64);
+        src.put(&key("c2"), &2u64);
+        let archive = tmp.0.join("c.apxcache");
+        src.pack(&archive, &stamp(), None).unwrap();
+        // flip a byte inside a blob body (the stored value "1" -> "9")
+        let text = std::fs::read_to_string(&archive).unwrap();
+        let tampered = text.replacen("1\\n", "9\\n", 1);
+        assert_ne!(text, tampered, "tamper target must exist");
+        std::fs::write(&archive, tampered).unwrap();
+        let dst = cache_at(&tmp.0.join("dst"));
+        match dst.import(&archive, &stamp(), ImportMode::Fetch) {
+            Err(CacheError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        assert!(dst.is_empty(), "validate-then-apply: nothing written");
+    }
+
+    #[test]
+    fn fetch_refuses_collisions_merge_keeps_local() {
+        let tmp = TempDir::new();
+        let src = cache_at(&tmp.0.join("src"));
+        src.put(&key("x"), &1u64);
+        src.put(&key("y"), &2u64);
+        let archive = tmp.0.join("x.apxcache");
+        src.pack(&archive, &stamp(), None).unwrap();
+
+        // the destination has a *different* value under the same key
+        let dst = cache_at(&tmp.0.join("dst"));
+        dst.put(&key("x"), &999u64);
+        match dst.import(&archive, &stamp(), ImportMode::Fetch) {
+            Err(CacheError::Collision { key }) => assert_eq!(key.len(), 32),
+            other => panic!("expected Collision, got {other:?}"),
+        }
+        assert_eq!(dst.len(), 1, "strict fetch wrote nothing");
+
+        let merged = dst.import(&archive, &stamp(), ImportMode::Merge).unwrap();
+        assert_eq!(merged.conflicts, 1);
+        assert_eq!(merged.imported, 1, "the non-conflicting blob lands");
+        assert_eq!(dst.get::<u64>(&key("x")), Some(999), "local side wins");
+        assert_eq!(dst.get::<u64>(&key("y")), Some(2));
+    }
+
+    #[test]
+    fn concurrent_puts_and_gc_never_tear_or_leak() {
+        // the in-process half of the concurrent-writer contract: 8
+        // threads hammer put/get while gc runs repeatedly; every blob
+        // read must parse, no temp survives, hit+miss accounting adds up
+        let tmp = TempDir::new();
+        let cache = cache_at(&tmp.0);
+        std::thread::scope(|s| {
+            for t in 0..6 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..40u64 {
+                        let k = key(&format!("race{}", (t * 7 + i) % 25));
+                        cache.put(&k, &vec![i; 8]);
+                        // any Some must be a fully-parsed vector — a torn
+                        // blob would deserialize to None and be deleted,
+                        // which is legal, but never a panic or bad data
+                        if let Some(v) = cache.get::<Vec<u64>>(&k) {
+                            assert_eq!(v.len(), 8);
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        match cache.gc(2_000) {
+                            Ok(_) | Err(CacheError::Busy { .. }) => {}
+                            Err(e) => panic!("gc failed: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let leftovers: Vec<_> = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temps: {leftovers:?}");
+        // every surviving blob parses
+        for record in cache.blob_records() {
+            let text = std::fs::read_to_string(&record.path).unwrap();
+            assert!(
+                serde_json::from_str::<Vec<u64>>(&text).is_ok(),
+                "torn blob on disk: {}",
+                record.key
+            );
+        }
+        assert!(!tmp.0.join("gc.lock").exists(), "gc lock released");
     }
 }

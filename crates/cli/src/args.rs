@@ -89,6 +89,18 @@ pub const FLAGS: &[FlagSpec] = &[
         help: "disable the report cache for this run",
     },
     FlagSpec {
+        name: "cache-capacity",
+        value: "BYTES",
+        default: "off",
+        help: "cap the cache dir: every write evicts LRU blobs down to this budget (K/M/G suffixes; also via APXPERF_CACHE_CAPACITY)",
+    },
+    FlagSpec {
+        name: "max-bytes",
+        value: "BYTES",
+        default: "none",
+        help: "cache gc: evict least-recently-used blobs until the dir is at most this size (K/M/G suffixes)",
+    },
+    FlagSpec {
         name: "format",
         value: "json|csv|tty",
         default: "tty",
@@ -181,6 +193,10 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// `--no-cache`.
     pub no_cache: bool,
+    /// `--cache-capacity` (`None` when uncapped).
+    pub cache_capacity: Option<u64>,
+    /// `--max-bytes` (`None` when not requested; `cache gc` requires it).
+    pub max_bytes: Option<u64>,
     /// `--format`.
     pub format: Format,
     /// `--out`.
@@ -222,6 +238,8 @@ impl Default for Args {
             points: 500,
             cache_dir: None,
             no_cache: false,
+            cache_capacity: None,
+            max_bytes: None,
             format: Format::Tty,
             out: "BENCH_baseline.json".to_owned(),
             family: "adders".to_owned(),
@@ -249,6 +267,24 @@ fn parse_int(flag: &str, value: &str) -> Result<u64, String> {
         value.parse::<u64>()
     };
     parsed.map_err(|_| format!("--{flag}: `{value}` is not an integer"))
+}
+
+/// A byte size: a plain integer (decimal or 0x-hex) with an optional
+/// `K`/`M`/`G`/`T` suffix (powers of 1024, case-insensitive) — so cache
+/// budgets read naturally: `--max-bytes 64M`.
+fn parse_bytes(flag: &str, value: &str) -> Result<u64, String> {
+    let (number, shift) = match value.chars().last().map(|c| c.to_ascii_uppercase()) {
+        Some('K') => (&value[..value.len() - 1], 10),
+        Some('M') => (&value[..value.len() - 1], 20),
+        Some('G') => (&value[..value.len() - 1], 30),
+        Some('T') => (&value[..value.len() - 1], 40),
+        _ => (value, 0),
+    };
+    let base = parse_int(flag, number)
+        .map_err(|_| format!("--{flag}: `{value}` is not a byte size (e.g. 1048576 or 64M)"))?;
+    base.checked_shl(shift)
+        .filter(|scaled| scaled >> shift == base)
+        .ok_or_else(|| format!("--{flag}: `{value}` overflows"))
 }
 
 /// [`parse_int`] for engine knobs that cannot meaningfully be zero
@@ -314,6 +350,8 @@ impl Args {
                 "sets" => args.sets = parse_int(name, value)? as usize,
                 "points" => args.points = parse_int(name, value)? as usize,
                 "cache-dir" => args.cache_dir = Some(PathBuf::from(value)),
+                "cache-capacity" => args.cache_capacity = Some(parse_bytes(name, value)?),
+                "max-bytes" => args.max_bytes = Some(parse_bytes(name, value)?),
                 "format" => args.format = Format::parse(value)?,
                 "out" => args.out = value.clone(),
                 "family" => args.family = value.clone(),
@@ -407,17 +445,22 @@ impl Args {
     }
 
     /// The report cache: `--no-cache` disables it, `--cache-dir` pins the
-    /// directory, otherwise `APXPERF_CACHE_DIR` / `~/.cache/apxperf`
-    /// (disabled when no location can be derived).
+    /// directory (otherwise `APXPERF_CACHE_DIR` / `~/.cache/apxperf`;
+    /// disabled when no location can be derived), and `--cache-capacity`
+    /// caps it at write time (otherwise `APXPERF_CACHE_CAPACITY`).
     #[must_use]
     pub fn cache(&self) -> Cache {
         if self.no_cache {
-            return Cache::disabled();
+            return Cache::default();
         }
-        match &self.cache_dir {
-            Some(dir) => Cache::at(dir),
-            None => Cache::from_env(),
+        let mut config = Cache::builder().from_env();
+        if let Some(dir) = &self.cache_dir {
+            config = config.dir(dir);
         }
+        if let Some(capacity) = self.cache_capacity {
+            config = config.capacity_bytes(capacity);
+        }
+        config.open()
     }
 }
 
@@ -593,6 +636,31 @@ mod tests {
         let cache = args.cache();
         assert!(cache.is_enabled());
         assert_eq!(cache.dir(), Some(std::path::Path::new("/tmp/apx")));
+    }
+
+    #[test]
+    fn byte_size_flags_parse_with_suffixes() {
+        let accepted = &["cache-capacity", "max-bytes"][..];
+        let args = Args::parse(
+            &argv(&["--cache-capacity", "64M", "--max-bytes", "1048576"]),
+            accepted,
+            0,
+        )
+        .unwrap();
+        assert_eq!(args.cache_capacity, Some(64 << 20));
+        assert_eq!(args.max_bytes, Some(1 << 20));
+        let args = Args::parse(&argv(&["--max-bytes", "2g"]), accepted, 0).unwrap();
+        assert_eq!(args.max_bytes, Some(2 << 30));
+        let args = Args::parse(&argv(&["--max-bytes", "0x10K"]), accepted, 0).unwrap();
+        assert_eq!(args.max_bytes, Some(16 << 10));
+        let err = Args::parse(&argv(&["--max-bytes", "lots"]), accepted, 0).unwrap_err();
+        assert!(err.contains("byte size"), "{err}");
+        let err = Args::parse(&argv(&["--max-bytes", "99999999T"]), accepted, 0).unwrap_err();
+        assert!(err.contains("overflows"), "{err}");
+        // defaults: uncapped, no gc budget
+        let defaulted = Args::parse(&[], accepted, 0).unwrap();
+        assert_eq!(defaulted.cache_capacity, None);
+        assert_eq!(defaulted.max_bytes, None);
     }
 
     #[test]

@@ -275,10 +275,23 @@ pub const COMMANDS: &[Command] = &[
     },
     Command {
         name: "cache",
-        summary: "Inspect or clear the report cache (stats | clear | dir)",
-        positional: "<stats|clear|dir>",
-        max_positional: 1,
-        flags: &["cache-dir", "format"],
+        summary: "Report-cache fleet ops (stats | clear | dir | pack | fetch | merge | gc)",
+        positional: "<stats|clear|dir|pack|fetch|merge|gc> [ARCHIVE]",
+        max_positional: 2,
+        flags: &[
+            "cache-dir",
+            "cache-capacity",
+            "max-bytes",
+            "format",
+            "family",
+            "workload",
+            "samples",
+            "vectors",
+            "seed",
+            "size",
+            "sets",
+            "points",
+        ],
         run: tools::cache,
     },
     Command {
@@ -295,6 +308,7 @@ pub const COMMANDS: &[Command] = &[
             "seed",
             "threads",
             "cache-dir",
+            "cache-capacity",
             "no-cache",
         ],
         run: serve::serve,

@@ -54,13 +54,24 @@ pub(super) fn report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `apxperf cache <stats|clear|dir>` — maintenance of the report cache:
-/// `stats` prints blob count, on-disk location, the key schema and the
-/// hit/miss/write counters persisted by the most recent characterizing
-/// run (`--format json` emits all of it machine-readably — the CI
-/// warm-run assertions `jq` this instead of grepping stderr); `clear`
-/// deletes every blob; `dir` prints just the directory (for shell
-/// substitution).
+/// `apxperf cache <verb>` — fleet operations on the report cache.
+///
+/// Maintenance: `stats` prints blob count, on-disk bytes, location, the
+/// key schema and the counters persisted by the most recent
+/// characterizing run (`--format json` emits all of it machine-readably
+/// — the CI warm-run assertions `jq` this instead of grepping stderr);
+/// `clear` deletes every blob (and only blobs — stats records, locks and
+/// foreign files are classified out); `dir` prints just the directory
+/// (for shell substitution).
+///
+/// Fleet: `pack <ARCHIVE>` exports blobs as one portable
+/// fingerprint-stamped file — all of them, or just a sweep's closure
+/// when `--family`/`--workload` select one; `fetch <ARCHIVE>` imports
+/// strictly (collisions are errors), `merge <ARCHIVE>` unions (local
+/// blobs win); both verify every blob checksum and reject archives from
+/// a mismatched schema or library fingerprint with a structured error.
+/// `gc --max-bytes N` evicts least-recently-used blobs until the
+/// directory fits the budget.
 pub(super) fn cache(args: &Args) -> Result<(), String> {
     let action = args.positional.first().map_or("stats", String::as_str);
     let cache = args.cache();
@@ -72,8 +83,10 @@ pub(super) fn cache(args: &Args) -> Result<(), String> {
             }
             match cache.dir() {
                 Some(dir) => {
+                    let stats = cache.stats();
                     println!("dir:     {}", dir.display());
-                    println!("blobs:   {}", cache.len());
+                    println!("blobs:   {}", stats.blobs);
+                    println!("bytes:   {}", stats.bytes);
                     println!(
                         "schema:  apxperf-operator-report v{}",
                         core_cache::REPORT_SCHEMA_VERSION
@@ -85,8 +98,8 @@ pub(super) fn cache(args: &Args) -> Result<(), String> {
                     );
                     match cache.last_run_stats() {
                         Some(run) => println!(
-                            "last run: {} hits, {} misses, {} writes",
-                            run.hits, run.misses, run.writes
+                            "last run: {} hits, {} misses, {} writes, {} evictions, {} imports",
+                            run.hits, run.misses, run.writes, run.evictions, run.imports
                         ),
                         None => println!("last run: none recorded"),
                     }
@@ -107,8 +120,175 @@ pub(super) fn cache(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("`{other}` is not stats, clear or dir")),
+        "pack" => pack(args, &cache),
+        "fetch" => import(args, &cache, apx_cache::ImportMode::Fetch),
+        "merge" => import(args, &cache, apx_cache::ImportMode::Merge),
+        "gc" => gc(args, &cache),
+        other => Err(format!(
+            "`{other}` is not stats, clear, dir, pack, fetch, merge or gc"
+        )),
     }
+}
+
+/// The `<ARCHIVE>` positional the pack/fetch/merge verbs require.
+fn archive_path<'a>(args: &'a Args, verb: &str) -> Result<&'a str, String> {
+    args.positional.get(1).map(String::as_str).ok_or_else(|| {
+        format!("cache {verb} expects an archive path, e.g. `apxperf cache {verb} warm.apxcache`")
+    })
+}
+
+/// A [`apx_cache::CacheError`] in the run's output format: the
+/// externally tagged JSON object under `--format json` (scripts dispatch
+/// on the variant name), the one-line prose otherwise.
+fn cache_error(args: &Args, err: &apx_cache::CacheError) -> String {
+    if args.format == crate::args::Format::Json {
+        err.to_json()
+    } else {
+        err.to_string()
+    }
+}
+
+/// Renders a fleet-operation summary as `--format` asks: a JSON object,
+/// `metric,value` CSV, or aligned `metric: value` text lines.
+fn render_summary(args: &Args, title: &str, pairs: &[(&str, u64)]) -> String {
+    use serde::Value;
+    match args.format {
+        crate::args::Format::Json => {
+            let object = Value::Object(
+                pairs
+                    .iter()
+                    .map(|&(name, value)| (name.to_owned(), Value::UInt(u128::from(value))))
+                    .collect(),
+            );
+            serde_json::to_string_pretty(&object).expect("JSON rendering is infallible")
+        }
+        crate::args::Format::Csv => {
+            let mut text = "metric,value\n".to_owned();
+            for (name, value) in pairs {
+                text.push_str(&format!("{name},{value}\n"));
+            }
+            text.trim_end().to_owned()
+        }
+        crate::args::Format::Tty => {
+            let width = pairs.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+            let mut text = format!("{title}\n");
+            for (name, value) in pairs {
+                text.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+            text.trim_end().to_owned()
+        }
+    }
+}
+
+/// The blob selection of `cache pack`: the whole directory by default,
+/// or — when `--family` (and optionally `--workload`) select a sweep —
+/// exactly that sweep's key closure (each config's report, its sized
+/// partner's report, and the workload cells).
+fn pack_selection(args: &Args) -> Result<Option<Vec<apx_cache::CacheKey>>, String> {
+    if !args.was_set("family") && args.workload.is_none() {
+        return Ok(None);
+    }
+    let family_name = args.family_or("points");
+    let family = apx_core::sweeps::find_family(family_name).ok_or_else(|| {
+        format!("--family: `{family_name}` is not a registered family — see `apxperf list`")
+    })?;
+    let configs = (family.configs)();
+    let lib = Library::fdsoi28();
+    let settings = args.settings();
+    let keys = match &args.workload {
+        Some(name) => {
+            let (workload, seed) = super::resolve_workload(args, name)?;
+            core_cache::sweep_key_closure(
+                &lib,
+                &settings,
+                &configs,
+                Some((workload.as_ref(), seed)),
+            )
+        }
+        None => core_cache::sweep_key_closure(&lib, &settings, &configs, None),
+    };
+    Ok(Some(keys))
+}
+
+/// `apxperf cache pack <ARCHIVE>` — export blobs into one portable,
+/// fingerprint-stamped archive file.
+fn pack(args: &Args, cache: &apx_cache::Cache) -> Result<(), String> {
+    let path = archive_path(args, "pack")?;
+    let keys = pack_selection(args)?;
+    let stamp = core_cache::archive_stamp(&Library::fdsoi28());
+    let summary = cache
+        .pack(std::path::Path::new(path), &stamp, keys.as_deref())
+        .map_err(|e| cache_error(args, &e))?;
+    println!(
+        "{}",
+        render_summary(
+            args,
+            &format!("packed -> {path}"),
+            &[
+                ("packed", summary.packed),
+                ("bytes", summary.bytes),
+                ("missing", summary.missing),
+            ],
+        )
+    );
+    Ok(())
+}
+
+/// `apxperf cache fetch|merge <ARCHIVE>` — import an archive, strictly
+/// (`fetch`: collisions abort) or as a union (`merge`: local wins).
+fn import(
+    args: &Args,
+    cache: &apx_cache::Cache,
+    mode: apx_cache::ImportMode,
+) -> Result<(), String> {
+    let verb = match mode {
+        apx_cache::ImportMode::Fetch => "fetch",
+        apx_cache::ImportMode::Merge => "merge",
+    };
+    let path = archive_path(args, verb)?;
+    let stamp = core_cache::archive_stamp(&Library::fdsoi28());
+    let summary = cache
+        .import(std::path::Path::new(path), &stamp, mode)
+        .map_err(|e| cache_error(args, &e))?;
+    println!(
+        "{}",
+        render_summary(
+            args,
+            &format!("{verb} <- {path}"),
+            &[
+                ("imported", summary.imported),
+                ("already_present", summary.already_present),
+                ("conflicts", summary.conflicts),
+                ("total", summary.total),
+            ],
+        )
+    );
+    Ok(())
+}
+
+/// `apxperf cache gc --max-bytes N` — evict LRU-first down to the byte
+/// budget.
+fn gc(args: &Args, cache: &apx_cache::Cache) -> Result<(), String> {
+    let budget = args
+        .max_bytes
+        .ok_or("cache gc expects a budget: `apxperf cache gc --max-bytes 256M`")?;
+    let summary = cache.gc(budget).map_err(|e| cache_error(args, &e))?;
+    println!(
+        "{}",
+        render_summary(
+            args,
+            &format!("gc to <= {budget} bytes"),
+            &[
+                ("examined_blobs", summary.examined_blobs),
+                ("examined_bytes", summary.examined_bytes),
+                ("evicted_blobs", summary.evicted_blobs),
+                ("evicted_bytes", summary.evicted_bytes),
+                ("remaining_blobs", summary.remaining_blobs),
+                ("remaining_bytes", summary.remaining_bytes),
+            ],
+        )
+    );
+    Ok(())
 }
 
 /// The machine-readable form of `cache stats`: directory, blob count,
@@ -127,12 +307,21 @@ fn stats_json(cache: &apx_cache::Cache) -> String {
             ("hits".to_owned(), Value::UInt(u128::from(run.hits))),
             ("misses".to_owned(), Value::UInt(u128::from(run.misses))),
             ("writes".to_owned(), Value::UInt(u128::from(run.writes))),
+            (
+                "evictions".to_owned(),
+                Value::UInt(u128::from(run.evictions)),
+            ),
+            ("imports".to_owned(), Value::UInt(u128::from(run.imports))),
+            ("blobs".to_owned(), Value::UInt(u128::from(run.blobs))),
+            ("bytes".to_owned(), Value::UInt(u128::from(run.bytes))),
         ]),
         None => Value::Null,
     };
+    let stats = cache.stats();
     let object = Value::Object(vec![
         ("dir".to_owned(), dir),
-        ("blobs".to_owned(), Value::UInt(cache.len() as u128)),
+        ("blobs".to_owned(), Value::UInt(u128::from(stats.blobs))),
+        ("bytes".to_owned(), Value::UInt(u128::from(stats.bytes))),
         (
             "report_schema_version".to_owned(),
             Value::UInt(u128::from(core_cache::REPORT_SCHEMA_VERSION)),

@@ -1,0 +1,375 @@
+//! End-to-end tests of the cache fleet operations: pack → fetch
+//! restores a pure-hit rerun with byte-identical stdout, mismatched
+//! archives are rejected without writing anything, `gc` evicts
+//! LRU-first down to the byte budget, and N concurrent `apxperf`
+//! processes sharing one cache directory never tear a blob or leak a
+//! temp file.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// The compiled `apxperf` binary under test.
+fn apxperf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_apxperf"))
+}
+
+fn run(args: &[&str]) -> Output {
+    apxperf()
+        .args(args)
+        .output()
+        .expect("apxperf binary must spawn")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8")
+}
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("apxperf_fleet_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("temp path is UTF-8")
+    }
+
+    fn file(&self, name: &str) -> String {
+        self.0.join(name).to_str().unwrap().to_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The content-addressed report blobs in a cache dir (32-hex `.json`
+/// names), sorted.
+fn blobs_in(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| apx_cache::classify(&e.path()) == apx_cache::RecordKind::Blob)
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// Any leftover atomic-write temp files in a cache dir.
+fn temps_in(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| apx_cache::classify(&e.path()) == apx_cache::RecordKind::Temp)
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn pack_fetch_restores_a_pure_hit_rerun_with_identical_stdout() {
+    let warm = TempDir::new("pack_src");
+    let fresh = TempDir::new("pack_dst");
+    let archive = warm.file("warm.apxcache");
+    let report = |dir: &str| {
+        run(&[
+            "report",
+            "ACA(16,4)",
+            "--samples",
+            "1000",
+            "--vectors",
+            "50",
+            "--cache-dir",
+            dir,
+        ])
+    };
+
+    let cold = report(warm.path());
+    assert!(cold.status.success(), "cold run failed: {cold:?}");
+    assert_eq!(blobs_in(&warm.0).len(), 1);
+
+    let packed = run(&["cache", "pack", &archive, "--cache-dir", warm.path()]);
+    assert!(packed.status.success(), "pack failed: {packed:?}");
+    assert!(stdout(&packed).contains("packed"), "{packed:?}");
+
+    let fetched = run(&["cache", "fetch", &archive, "--cache-dir", fresh.path()]);
+    assert!(fetched.status.success(), "fetch failed: {fetched:?}");
+    // byte-identical restore: same blob names, same bytes
+    assert_eq!(blobs_in(&warm.0), blobs_in(&fresh.0));
+    for name in blobs_in(&warm.0) {
+        assert_eq!(
+            std::fs::read(warm.0.join(&name)).unwrap(),
+            std::fs::read(fresh.0.join(&name)).unwrap(),
+            "{name}: restored blob differs"
+        );
+    }
+
+    // the restored dir serves the rerun purely from cache, byte-identical
+    let restored = report(fresh.path());
+    assert!(
+        restored.status.success(),
+        "restored run failed: {restored:?}"
+    );
+    assert_eq!(stdout(&cold), stdout(&restored));
+    let err = stderr(&restored);
+    assert!(
+        err.contains("1 hits, 0 misses, 0 writes"),
+        "restored run must be a pure hit: {err}"
+    );
+
+    // fetching the same archive again is a no-op, not a conflict
+    let again = run(&[
+        "cache",
+        "fetch",
+        &archive,
+        "--cache-dir",
+        fresh.path(),
+        "--format",
+        "json",
+    ]);
+    assert!(again.status.success(), "re-fetch failed: {again:?}");
+    let json = stdout(&again);
+    assert!(json.contains("\"imported\": 0"), "{json}");
+    assert!(json.contains("\"already_present\": 1"), "{json}");
+}
+
+#[test]
+fn mismatched_archives_are_rejected_and_write_nothing() {
+    let warm = TempDir::new("reject_src");
+    let fresh = TempDir::new("reject_dst");
+    let seeded = run(&[
+        "report",
+        "ADDt(16,12)",
+        "--samples",
+        "500",
+        "--vectors",
+        "30",
+        "--cache-dir",
+        warm.path(),
+    ]);
+    assert!(seeded.status.success());
+    let archive = warm.file("warm.apxcache");
+    let packed = run(&["cache", "pack", &archive, "--cache-dir", warm.path()]);
+    assert!(packed.status.success());
+
+    // a foreign library fingerprint in the stamp: structured rejection
+    let text = std::fs::read_to_string(&archive).unwrap();
+    let foreign = archive.replace(".apxcache", ".foreign.apxcache");
+    std::fs::write(
+        &foreign,
+        text.replacen("\"library\": \"", "\"library\": \"feed", 1),
+    )
+    .unwrap();
+    let rejected = run(&[
+        "cache",
+        "fetch",
+        &foreign,
+        "--cache-dir",
+        fresh.path(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(rejected.status.code(), Some(1));
+    let err = stderr(&rejected);
+    assert!(err.contains("LibraryMismatch"), "{err}");
+    assert_eq!(blobs_in(&fresh.0).len(), 0, "rejected import wrote blobs");
+
+    // a tampered blob body: checksum rejection, still nothing written
+    let tampered = archive.replace(".apxcache", ".tampered.apxcache");
+    std::fs::write(
+        &tampered,
+        text.replacen("\\\"verified\\\"", "\\\"verifiee\\\"", 1),
+    )
+    .unwrap();
+    let rejected = run(&["cache", "fetch", &tampered, "--cache-dir", fresh.path()]);
+    assert_eq!(rejected.status.code(), Some(1));
+    let err = stderr(&rejected);
+    assert!(
+        err.contains("checksum") || err.contains("does not match"),
+        "{err}"
+    );
+    assert_eq!(blobs_in(&fresh.0).len(), 0, "tampered import wrote blobs");
+}
+
+#[test]
+fn pack_selector_reports_the_sweep_closure_keys_it_cannot_find() {
+    // the selector path end to end, without paying for a family sweep:
+    // an empty cache has none of the `points` closure blobs, so a
+    // selective pack reports every key as missing and packs nothing
+    let dir = TempDir::new("selector");
+    let archive = dir.file("sel.apxcache");
+    let packed = run(&[
+        "cache",
+        "pack",
+        &archive,
+        "--cache-dir",
+        dir.path(),
+        "--family",
+        "points",
+        "--samples",
+        "1000",
+        "--vectors",
+        "50",
+        "--format",
+        "json",
+    ]);
+    assert!(packed.status.success(), "{packed:?}");
+    let json = stdout(&packed);
+    assert!(json.contains("\"packed\": 0"), "{json}");
+    // 9 configs + their sized partners: strictly more than 9 keys
+    let missing: u64 = json
+        .lines()
+        .find(|l| l.contains("\"missing\""))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+        .expect("missing count in pack summary");
+    assert!(missing > 9, "points closure should exceed 9 keys: {json}");
+}
+
+#[test]
+fn gc_evicts_lru_first_down_to_the_byte_budget() {
+    let dir = TempDir::new("gc");
+    let report = |spec: &str| {
+        let output = run(&[
+            "report",
+            spec,
+            "--samples",
+            "500",
+            "--vectors",
+            "30",
+            "--cache-dir",
+            dir.path(),
+        ]);
+        assert!(output.status.success(), "{spec} failed: {output:?}");
+    };
+    report("ACA(8,2)");
+    let old_blob = blobs_in(&dir.0)[0].clone();
+    // make the first blob decisively older than the second
+    let backdate = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.0.join(&old_blob))
+        .and_then(|f| f.set_modified(backdate))
+        .expect("backdate blob");
+    report("ADDt(8,4)");
+    assert_eq!(blobs_in(&dir.0).len(), 2);
+
+    let total: u64 = blobs_in(&dir.0)
+        .iter()
+        .map(|name| std::fs::metadata(dir.0.join(name)).unwrap().len())
+        .sum();
+    let budget = total - 1; // forces exactly one eviction
+    let gc = run(&[
+        "cache",
+        "gc",
+        "--max-bytes",
+        &budget.to_string(),
+        "--cache-dir",
+        dir.path(),
+        "--format",
+        "json",
+    ]);
+    assert!(gc.status.success(), "{gc:?}");
+    let json = stdout(&gc);
+    assert!(json.contains("\"evicted_blobs\": 1"), "{json}");
+
+    let survivors = blobs_in(&dir.0);
+    assert_eq!(survivors.len(), 1, "exactly one blob must survive");
+    assert_ne!(survivors[0], old_blob, "gc must evict the LRU blob first");
+    let remaining: u64 = survivors
+        .iter()
+        .map(|name| std::fs::metadata(dir.0.join(name)).unwrap().len())
+        .sum();
+    assert!(remaining <= budget, "{remaining} > budget {budget}");
+
+    // gc without a budget is a usage-level error, not a silent no-op
+    let bad = run(&["cache", "gc", "--cache-dir", dir.path()]);
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(stderr(&bad).contains("--max-bytes"), "{bad:?}");
+}
+
+#[test]
+fn concurrent_processes_sharing_a_cache_dir_never_tear_blobs_or_leak_temps() {
+    // N racing `apxperf report` processes over one directory: half pile
+    // onto the same config (write/write race on one blob), half write
+    // distinct configs. Every process must succeed, every blob must be
+    // complete valid JSON, and no atomic-write temp may survive.
+    let dir = TempDir::new("stress");
+    let shared = "ACA(8,2)";
+    let distinct = ["ADDt(8,4)", "RCAApx(8,3,2)", "ACA(8,3)"];
+    let mut children = Vec::new();
+    for index in 0..8 {
+        let spec = if index % 2 == 0 {
+            shared
+        } else {
+            distinct[(index / 2) % distinct.len()]
+        };
+        let child = apxperf()
+            .args([
+                "report",
+                spec,
+                "--samples",
+                "500",
+                "--vectors",
+                "30",
+                "--cache-dir",
+                dir.path(),
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn racing apxperf");
+        children.push((spec, child));
+    }
+    for (spec, child) in children {
+        let output = child.wait_with_output().expect("racing child exits");
+        assert!(output.status.success(), "{spec} failed under contention");
+    }
+
+    let blobs = blobs_in(&dir.0);
+    assert_eq!(blobs.len(), 4, "one blob per distinct config: {blobs:?}");
+    for name in &blobs {
+        let text = std::fs::read_to_string(dir.0.join(name)).expect("blob readable");
+        assert!(
+            serde_json::from_str::<serde::Value>(&text).is_ok(),
+            "{name}: torn blob: {text}"
+        );
+    }
+    assert_eq!(temps_in(&dir.0), Vec::<String>::new(), "leaked temp files");
+
+    // deterministic hit accounting: after the race, a rerun of the
+    // contended config is a pure hit
+    let warm = run(&[
+        "report",
+        shared,
+        "--samples",
+        "500",
+        "--vectors",
+        "30",
+        "--cache-dir",
+        dir.path(),
+    ]);
+    assert!(warm.status.success());
+    let err = stderr(&warm);
+    assert!(
+        err.contains("1 hits, 0 misses, 0 writes"),
+        "post-race rerun must be a pure hit: {err}"
+    );
+}

@@ -118,7 +118,7 @@ pub fn models_for_adders(
     adders: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<AppEnergyModel> {
-    models_for_adders_cached(lib, settings, adders, engine, &Cache::disabled())
+    models_for_adders_cached(lib, settings, adders, engine, &Cache::default())
 }
 
 /// [`models_for_adders`] backed by a content-addressed report cache:
@@ -147,7 +147,7 @@ pub fn models_for_multipliers(
     mults: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<AppEnergyModel> {
-    models_for_multipliers_cached(lib, settings, mults, engine, &Cache::disabled())
+    models_for_multipliers_cached(lib, settings, mults, engine, &Cache::default())
 }
 
 /// [`models_for_multipliers`] backed by a content-addressed report cache
@@ -208,7 +208,7 @@ pub fn sweep_workload(
         settings,
         configs,
         engine,
-        &Cache::disabled(),
+        &Cache::default(),
     )
 }
 
@@ -393,7 +393,7 @@ mod tests {
     fn cached_workload_sweep_is_bit_identical_and_pure_hits_when_warm() {
         let dir = std::env::temp_dir().join(format!("apx_appsweep_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let cache = Cache::at(&dir);
+        let cache = Cache::builder().dir(&dir).open();
         let lib = Library::fdsoi28();
         let settings = CharacterizerSettings {
             error_samples: 1_000,

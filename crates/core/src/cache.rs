@@ -31,7 +31,7 @@
 //! use apx_operators::OperatorConfig;
 //!
 //! let dir = std::env::temp_dir().join(format!("apx_core_doc_{}", std::process::id()));
-//! let cache = Cache::at(&dir);
+//! let cache = Cache::builder().dir(&dir).open();
 //! let lib = Library::fdsoi28();
 //! let settings = CharacterizerSettings {
 //!     error_samples: 2_000,
@@ -56,9 +56,9 @@
 
 use crate::characterizer::CharacterizerSettings;
 use apx_apps::Workload;
-use apx_cache::{CacheKey, KeyBuilder};
+use apx_cache::{ArchiveStamp, CacheKey, KeyBuilder};
 use apx_cells::Library;
-use apx_operators::{OperatorConfig, SiteMap};
+use apx_operators::{OpClass, OperatorConfig, SiteMap};
 
 /// Version of the cached-report schema. Bump on any change to the
 /// serialized [`OperatorReport`] shape *or* to the semantics of a keyed
@@ -170,6 +170,53 @@ pub fn hetero_cell_key(
         .finish()
 }
 
+/// The compatibility stamp of every cache archive this build packs or
+/// imports: the report/app-sweep schema versions (which move every blob's
+/// content address when bumped) plus the cell-library fingerprint the
+/// blobs were computed against. [`Cache::import`](apx_cache::Cache)
+/// rejects an archive whose stamp differs — its blobs would either never
+/// be looked up (schema drift) or describe different hardware (library
+/// drift).
+#[must_use]
+pub fn archive_stamp(lib: &Library) -> ArchiveStamp {
+    ArchiveStamp {
+        schema: format!("report/v{REPORT_SCHEMA_VERSION}+app/v{APP_SWEEP_SCHEMA_VERSION}"),
+        library: library_fingerprint(lib).hex(),
+    }
+}
+
+/// Every cache key a sweep over `configs` can read or write — the
+/// selector `apxperf cache pack --family .. [--workload ..]` resolves to.
+///
+/// Per configuration that is: its own report key, its sized partner
+/// operator's report key (the §IV energy models characterize both — see
+/// [`crate::appenergy::partner_multiplier`] /
+/// [`crate::appenergy::partner_adder`]), and, when a workload is
+/// selected, the (workload × config) cell key. Keys are deduplicated
+/// (many configs share one partner) and sorted, so the closure — and any
+/// archive packed from it — is deterministic.
+#[must_use]
+pub fn sweep_key_closure(
+    lib: &Library,
+    settings: &CharacterizerSettings,
+    configs: &[OperatorConfig],
+    workload: Option<(&dyn Workload, u64)>,
+) -> Vec<CacheKey> {
+    let mut keys = std::collections::BTreeSet::new();
+    for config in configs {
+        keys.insert(report_cache_key(lib, settings, config));
+        let partner = match config.op_class() {
+            OpClass::Adder => crate::appenergy::partner_multiplier(config),
+            OpClass::Multiplier => crate::appenergy::partner_adder(config),
+        };
+        keys.insert(report_cache_key(lib, settings, &partner));
+        if let Some((workload, seed)) = workload {
+            keys.insert(workload_cell_key(lib, settings, workload, seed, config));
+        }
+    }
+    keys.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,7 +259,7 @@ mod tests {
     #[test]
     fn hit_returns_bit_identical_report() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let config = OperatorConfig::Aca { n: 16, p: 6 };
         let mut chz = Characterizer::new(&lib)
@@ -230,7 +277,7 @@ mod tests {
     #[test]
     fn mismatched_inputs_miss() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let config = OperatorConfig::AddTrunc { n: 16, q: 10 };
         let settings = quick_settings();
@@ -238,14 +285,8 @@ mod tests {
             .with_settings(settings)
             .with_cache(cache.clone())
             .characterize(&config);
-        assert_eq!(
-            cache.stats(),
-            apx_cache::CacheStats {
-                hits: 0,
-                misses: 1,
-                writes: 1
-            }
-        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (0, 1, 1));
 
         // different seed → miss (second write)
         let mut reseeded = settings;
@@ -292,7 +333,7 @@ mod tests {
         // records a plain miss (never a hit, never a collision/heal) and
         // recomputes under its own key.
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let config = OperatorConfig::Aca { n: 16, p: 6 };
         let settings = quick_settings();
@@ -314,31 +355,25 @@ mod tests {
             .finish();
         let new_key = report_cache_key(&lib, &settings, &config);
         assert_ne!(old_key, new_key, "schema bump must move the address");
-        let stale = Cache::at(&tmp.0);
+        let stale = Cache::builder().dir(&tmp.0).open();
         stale.put(&old_key, &report);
 
         // Fresh session over the warm dir: the v1 blob is invisible.
-        let cache2 = Cache::at(&tmp.0);
+        let cache2 = Cache::builder().dir(&tmp.0).open();
         std::fs::remove_file(tmp.0.join(format!("{new_key}.json"))).unwrap();
         let mut chz2 = Characterizer::new(&lib)
             .with_settings(settings)
             .with_cache(cache2.clone());
         let recomputed = chz2.characterize(&config);
         assert_eq!(recomputed, report);
-        assert_eq!(
-            cache2.stats(),
-            apx_cache::CacheStats {
-                hits: 0,
-                misses: 1,
-                writes: 1
-            }
-        );
+        let stats = cache2.stats();
+        assert_eq!((stats.hits, stats.misses, stats.writes), (0, 1, 1));
     }
 
     #[test]
     fn corrupted_blob_falls_back_to_recompute() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let config = OperatorConfig::EtaIi { n: 16, x: 4 };
         let settings = quick_settings();
@@ -366,7 +401,7 @@ mod tests {
         // the key has no engine/thread ingredient: a report cached on one
         // thread is served to a 4-thread run (determinism makes it valid)
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let config = OperatorConfig::RcaApx {
             n: 16,
@@ -402,7 +437,7 @@ mod tests {
     #[test]
     fn cached_sweep_matches_uncached_sweep() {
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let configs = [
             OperatorConfig::AddTrunc { n: 16, q: 10 },
@@ -459,7 +494,7 @@ mod tests {
         // a blob that parses as a report but describes another operator
         // (hash collision, or a manually copied file) must not be served
         let tmp = TempDir::new();
-        let cache = Cache::at(&tmp.0);
+        let cache = Cache::builder().dir(&tmp.0).open();
         let lib = Library::fdsoi28();
         let settings = quick_settings();
         let a = OperatorConfig::AddTrunc { n: 16, q: 10 };
@@ -474,5 +509,50 @@ mod tests {
             .with_cache(cache.clone())
             .characterize(&a);
         assert_eq!(report_a.config, a, "planted blob must be rejected");
+    }
+
+    #[test]
+    fn archive_stamp_tracks_schema_and_library() {
+        let stamp = archive_stamp(&Library::fdsoi28());
+        assert_eq!(
+            stamp.schema,
+            format!("report/v{REPORT_SCHEMA_VERSION}+app/v{APP_SWEEP_SCHEMA_VERSION}")
+        );
+        assert_eq!(
+            stamp.library,
+            library_fingerprint(&Library::fdsoi28()).hex()
+        );
+        assert_ne!(
+            stamp,
+            archive_stamp(&Library::generic45()),
+            "library drift moves the stamp"
+        );
+    }
+
+    #[test]
+    fn sweep_key_closure_covers_reports_partners_and_cells() {
+        let lib = Library::fdsoi28();
+        let settings = quick_settings();
+        let adder = OperatorConfig::AddTrunc { n: 16, q: 10 };
+        let mult = OperatorConfig::MulTrunc { n: 8, q: 8 };
+        let keys = sweep_key_closure(&lib, &settings, &[adder, mult], None);
+        // each config's own report key is in the closure …
+        assert!(keys.contains(&report_cache_key(&lib, &settings, &adder)));
+        assert!(keys.contains(&report_cache_key(&lib, &settings, &mult)));
+        // … and so is each partner's
+        let partner_m = crate::appenergy::partner_multiplier(&adder);
+        let partner_a = crate::appenergy::partner_adder(&mult);
+        assert!(keys.contains(&report_cache_key(&lib, &settings, &partner_m)));
+        assert!(keys.contains(&report_cache_key(&lib, &settings, &partner_a)));
+        assert_eq!(keys.len(), 4, "deduplicated and nothing else");
+        // sorted → deterministic
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // a workload widens the closure by one cell key per config
+        let workload = apx_apps::fft::FftWorkload::default();
+        let with_cells = sweep_key_closure(&lib, &settings, &[adder, mult], Some((&workload, 7)));
+        assert_eq!(with_cells.len(), 6);
+        assert!(with_cells.contains(&workload_cell_key(&lib, &settings, &workload, 7, &adder)));
     }
 }

@@ -75,7 +75,7 @@ impl<'a> Characterizer<'a> {
             lib,
             settings: CharacterizerSettings::default(),
             engine: Engine::from_env(),
-            cache: Cache::disabled(),
+            cache: Cache::default(),
             batch: apx_engine::EVAL_BATCH,
         }
     }

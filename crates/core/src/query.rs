@@ -430,13 +430,13 @@ mod tests {
         let engine = Engine::new(2);
         let params = small();
         let (cold, hit_cold) =
-            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::disabled()).unwrap();
+            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::default()).unwrap();
         assert!(!hit_cold);
         assert!(cold.ends_with('\n'));
         let (again, _) =
-            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::disabled()).unwrap();
+            report_text(&lib, &params, "ACA(8,2)", &engine, &Cache::default()).unwrap();
         assert_eq!(cold, again, "pure function of its inputs");
-        let err = report_text(&lib, &params, "FROB(16)", &engine, &Cache::disabled()).unwrap_err();
+        let err = report_text(&lib, &params, "FROB(16)", &engine, &Cache::default()).unwrap_err();
         assert!(!err.is_empty());
     }
 
@@ -444,7 +444,7 @@ mod tests {
     fn cached_report_hits_on_the_second_lookup() {
         let dir = std::env::temp_dir().join(format!("apx_query_test_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let cache = Cache::at(&dir);
+        let cache = Cache::builder().dir(&dir).open();
         let lib = Library::fdsoi28();
         let engine = Engine::new(2);
         let config: OperatorConfig = "ACA(8,2)".parse().unwrap();
@@ -461,7 +461,7 @@ mod tests {
         let lib = Library::fdsoi28();
         let engine = Engine::new(1);
         let params = small();
-        let cache = Cache::disabled();
+        let cache = Cache::default();
         let err =
             sweep_text(&lib, &params, "nope", None, Format::Tty, &engine, &cache).unwrap_err();
         assert!(err.contains("is not one of"), "{err}");

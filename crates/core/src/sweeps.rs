@@ -40,7 +40,7 @@ pub fn characterize_all(
     configs: &[OperatorConfig],
     engine: &Engine,
 ) -> Vec<OperatorReport> {
-    characterize_all_cached(lib, settings, configs, engine, &Cache::disabled())
+    characterize_all_cached(lib, settings, configs, engine, &Cache::default())
 }
 
 /// [`characterize_all`] backed by a content-addressed report cache:

@@ -404,7 +404,7 @@ mod tests {
             settings,
             &uniform,
             &Engine::single_threaded(),
-            &Cache::disabled(),
+            &Cache::default(),
         );
         let mut classic = apx_apps::OperatorCtx::for_config(&config);
         let classic_run = workload.run(7, &mut classic);
@@ -425,7 +425,7 @@ mod tests {
             "<=1dB".parse().unwrap(),
             &small_candidates(),
             &Engine::new(2),
-            &Cache::disabled(),
+            &Cache::default(),
         )
         .expect("tune succeeds");
         let baseline = outcome.best_uniform.as_ref().expect("exact is feasible");
@@ -457,7 +457,7 @@ mod tests {
                 budget,
                 &small_candidates(),
                 &Engine::new(threads),
-                &Cache::disabled(),
+                &Cache::default(),
             )
             .expect("tune succeeds")
         };
@@ -481,7 +481,7 @@ mod tests {
             ">=30dB".parse().unwrap(),
             &small_candidates(),
             &Engine::single_threaded(),
-            &Cache::disabled(),
+            &Cache::default(),
         )
         .unwrap_err();
         assert!(err.contains("dB"), "{err}");
@@ -492,7 +492,7 @@ mod tests {
     fn warm_rerun_is_pure_cache_hits_and_bit_identical() {
         let dir = std::env::temp_dir().join(format!("apx_tune_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        let cache = Cache::at(&dir);
+        let cache = Cache::builder().dir(&dir).open();
         let lib = Library::fdsoi28();
         let settings = quick_settings();
         let workload = build("fir");

@@ -57,7 +57,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8787".to_owned(),
             queue_capacity: 32,
             port_file: None,
-            cache: Cache::disabled(),
+            cache: Cache::default(),
             engine: Engine::from_env(),
             defaults: QueryParams::default(),
             watch_signals: false,
@@ -236,6 +236,8 @@ fn route(state: &Arc<ServeState>, request: &Request) -> (u16, String) {
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => (200, compact(&[("status", Value::String("ok".to_owned()))])),
         ("GET", ["stats"]) => (200, stats_json(state)),
+        ("GET", ["cache", "stats"]) => (200, cache_stats_json(state)),
+        ("POST", ["cache", "gc"]) => cache_gc(state, &request.body),
         ("GET", ["report", spec]) => report(state, spec, &request.query),
         ("POST", ["sweep"]) => submit_sweep(state, &request.body),
         ("POST", ["pareto"]) => submit_pareto(state, &request.body),
@@ -252,6 +254,7 @@ fn route(state: &Arc<ServeState>, request: &Request) -> (u16, String) {
             _,
             ["healthz"]
             | ["stats"]
+            | ["cache", "stats" | "gc"]
             | ["report", _]
             | ["sweep"]
             | ["pareto"]
@@ -261,8 +264,9 @@ fn route(state: &Arc<ServeState>, request: &Request) -> (u16, String) {
         _ => (
             404,
             error_json(
-                "unknown endpoint — see GET /healthz, GET /stats, GET /report/<CONFIG>, \
-                 POST /sweep, POST /pareto, GET /job/<id>, POST /shutdown",
+                "unknown endpoint — see GET /healthz, GET /stats, GET /cache/stats, \
+                 POST /cache/gc, GET /report/<CONFIG>, POST /sweep, POST /pareto, \
+                 GET /job/<id>, POST /shutdown",
             ),
         ),
     }
@@ -515,12 +519,104 @@ fn stats_json(state: &Arc<ServeState>) -> String {
                 ("hits".to_owned(), Value::UInt(u128::from(cache.hits))),
                 ("misses".to_owned(), Value::UInt(u128::from(cache.misses))),
                 ("writes".to_owned(), Value::UInt(u128::from(cache.writes))),
+                (
+                    "evictions".to_owned(),
+                    Value::UInt(u128::from(cache.evictions)),
+                ),
+                ("imports".to_owned(), Value::UInt(u128::from(cache.imports))),
+                ("blobs".to_owned(), Value::UInt(u128::from(cache.blobs))),
+                ("bytes".to_owned(), Value::UInt(u128::from(cache.bytes))),
             ]),
         ),
     ]);
     let mut text = serde_json::to_string_pretty(&object).expect("JSON rendering is infallible");
     text.push('\n');
     text
+}
+
+/// `GET /cache/stats` — the report cache alone, measured now: location,
+/// on-disk blob count and byte size (the same definition `gc` budgets
+/// against) plus this process's traffic counters.
+fn cache_stats_json(state: &Arc<ServeState>) -> String {
+    let cache = state.cache.stats();
+    let dir = match state.cache.dir() {
+        Some(dir) => Value::String(dir.display().to_string()),
+        None => Value::Null,
+    };
+    let mut text = serde_json::to_string_pretty(&Value::Object(vec![
+        ("enabled".to_owned(), Value::Bool(state.cache.is_enabled())),
+        ("dir".to_owned(), dir),
+        ("blobs".to_owned(), Value::UInt(u128::from(cache.blobs))),
+        ("bytes".to_owned(), Value::UInt(u128::from(cache.bytes))),
+        ("hits".to_owned(), Value::UInt(u128::from(cache.hits))),
+        ("misses".to_owned(), Value::UInt(u128::from(cache.misses))),
+        ("writes".to_owned(), Value::UInt(u128::from(cache.writes))),
+        (
+            "evictions".to_owned(),
+            Value::UInt(u128::from(cache.evictions)),
+        ),
+        ("imports".to_owned(), Value::UInt(u128::from(cache.imports))),
+    ]))
+    .expect("JSON rendering is infallible");
+    text.push('\n');
+    text
+}
+
+/// `POST /cache/gc` — evict LRU-first down to the `max_bytes` budget
+/// from the request body. A held gc lock is a 409 (another writer is
+/// collecting; retry later), a disabled cache a 400; both carry the
+/// structured [`apx_cache::CacheError`] JSON so clients can dispatch on
+/// the variant.
+fn cache_gc(state: &Arc<ServeState>, body: &str) -> (u16, String) {
+    let fields = match parse_body(body) {
+        Ok(fields) => fields,
+        Err(message) => return (400, error_json(&message)),
+    };
+    if let Some((key, _)) = fields.iter().find(|(key, _)| key != "max_bytes") {
+        return (
+            400,
+            error_json(&format!("unknown field `{key}` (allowed: max_bytes)")),
+        );
+    }
+    let Some(max_bytes) = (match field_u64(&fields, "max_bytes") {
+        Ok(value) => value,
+        Err(message) => return (400, error_json(&message)),
+    }) else {
+        return (400, error_json("gc needs a `max_bytes` field (bytes)"));
+    };
+    match state.cache.gc(max_bytes) {
+        Ok(summary) => (
+            200,
+            compact(&[
+                (
+                    "examined_blobs",
+                    Value::UInt(u128::from(summary.examined_blobs)),
+                ),
+                (
+                    "examined_bytes",
+                    Value::UInt(u128::from(summary.examined_bytes)),
+                ),
+                (
+                    "evicted_blobs",
+                    Value::UInt(u128::from(summary.evicted_blobs)),
+                ),
+                (
+                    "evicted_bytes",
+                    Value::UInt(u128::from(summary.evicted_bytes)),
+                ),
+                (
+                    "remaining_blobs",
+                    Value::UInt(u128::from(summary.remaining_blobs)),
+                ),
+                (
+                    "remaining_bytes",
+                    Value::UInt(u128::from(summary.remaining_bytes)),
+                ),
+            ]),
+        ),
+        Err(err @ apx_cache::CacheError::Busy { .. }) => (409, err.to_json() + "\n"),
+        Err(err) => (400, err.to_json() + "\n"),
+    }
 }
 
 // ---------------------------------------------------------------------

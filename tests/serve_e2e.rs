@@ -178,7 +178,7 @@ fn poll_job_done(addr: SocketAddr, id: u64) -> String {
 fn healthz_portfile_and_structured_errors() {
     let tmp = TempDir::new("errors");
     let port_file = tmp.0.join("port");
-    let mut config = config_with(Cache::disabled(), small_params());
+    let mut config = config_with(Cache::default(), small_params());
     config.port_file = Some(port_file.clone());
     let daemon = Daemon::start(config);
 
@@ -232,7 +232,7 @@ fn healthz_portfile_and_structured_errors() {
 fn warm_reports_are_byte_identical_to_the_cli_renderer() {
     let tmp = TempDir::new("warm");
     let params = small_params();
-    let daemon = Daemon::start(config_with(Cache::at(&tmp.0), params));
+    let daemon = Daemon::start(config_with(Cache::builder().dir(&tmp.0).open(), params));
 
     // what `apxperf report 'ADDt(16,12)' --format json` prints on stdout
     let (expected, hit) = query::report_text(
@@ -240,7 +240,7 @@ fn warm_reports_are_byte_identical_to_the_cli_renderer() {
         &params,
         "ADDt(16,12)",
         &Engine::from_env(),
-        &Cache::disabled(),
+        &Cache::default(),
     )
     .expect("reference render succeeds");
     assert!(!hit);
@@ -275,7 +275,7 @@ fn a_thundering_herd_coalesces_to_exactly_one_miss() {
         vectors: 2_000,
         ..QueryParams::default()
     };
-    let daemon = Daemon::start(config_with(Cache::at(&tmp.0), params));
+    let daemon = Daemon::start(config_with(Cache::builder().dir(&tmp.0).open(), params));
     const HERD: usize = 6;
 
     let barrier = std::sync::Barrier::new(HERD);
@@ -314,7 +314,7 @@ fn sweep_and_pareto_jobs_render_the_cli_stdout_bytes() {
         vectors: 24,
         ..QueryParams::default()
     };
-    let daemon = Daemon::start(config_with(Cache::at(&tmp.0), params));
+    let daemon = Daemon::start(config_with(Cache::builder().dir(&tmp.0).open(), params));
 
     let (status, accepted) = post(
         daemon.addr,
@@ -332,7 +332,7 @@ fn sweep_and_pareto_jobs_render_the_cli_stdout_bytes() {
         Some("fir"),
         Format::Json,
         &Engine::from_env(),
-        &Cache::disabled(),
+        &Cache::default(),
     )
     .expect("reference sweep succeeds");
     assert_eq!(
@@ -356,7 +356,7 @@ fn sweep_and_pareto_jobs_render_the_cli_stdout_bytes() {
         false,
         Format::Json,
         &Engine::from_env(),
-        &Cache::disabled(),
+        &Cache::default(),
     )
     .expect("reference pareto succeeds");
     assert_eq!(
@@ -378,7 +378,7 @@ fn the_job_queue_is_bounded_and_overflow_is_a_structured_503() {
         vectors: 100,
         ..QueryParams::default()
     };
-    let mut config = config_with(Cache::at(&tmp.0), params);
+    let mut config = config_with(Cache::builder().dir(&tmp.0).open(), params);
     config.queue_capacity = 1;
     let daemon = Daemon::start(config);
 
@@ -410,6 +410,64 @@ fn the_job_queue_is_bounded_and_overflow_is_a_structured_503() {
 }
 
 #[test]
+fn cache_endpoints_measure_collect_and_report_busy_as_409() {
+    let tmp = TempDir::new("cache_ops");
+    let daemon = Daemon::start(config_with(
+        Cache::builder().dir(&tmp.0).open(),
+        small_params(),
+    ));
+
+    // a fresh directory measures empty
+    let (status, body) = get(daemon.addr, "/cache/stats");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"enabled\": true"), "{body}");
+    assert_eq!(json_u64(&body, "blobs"), 0, "{body}");
+    assert_eq!(json_u64(&body, "bytes"), 0, "{body}");
+
+    // one characterization lands one blob; /cache/stats sees its bytes
+    let (status, _) = get(daemon.addr, "/report/ADDt(16,12)");
+    assert_eq!(status, 200);
+    let (_, body) = get(daemon.addr, "/cache/stats");
+    assert_eq!(json_u64(&body, "blobs"), 1, "{body}");
+    assert!(json_u64(&body, "bytes") > 0, "{body}");
+
+    // gc validation: non-object, unknown field, missing budget
+    let (status, body) = post(daemon.addr, "/cache/gc", "[1,2]");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = post(daemon.addr, "/cache/gc", r#"{"maxbytes":1}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown field"), "{body}");
+    let (status, body) = post(daemon.addr, "/cache/gc", "{}");
+    assert_eq!(status, 400);
+    assert!(body.contains("max_bytes"), "{body}");
+
+    // a held gc lock is a 409 Conflict with the structured Busy error
+    let lock = tmp.0.join("gc.lock");
+    std::fs::write(&lock, "held\n").expect("plant a fresh gc lock");
+    let (status, body) = post(daemon.addr, "/cache/gc", r#"{"max_bytes":0}"#);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("Busy"), "{body}");
+    std::fs::remove_file(&lock).expect("release the planted lock");
+
+    // a zero budget collects everything; /stats reports the eviction
+    let (status, body) = post(daemon.addr, "/cache/gc", r#"{"max_bytes":0}"#);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "evicted_blobs"), 1, "{body}");
+    assert_eq!(json_u64(&body, "remaining_bytes"), 0, "{body}");
+    let (_, stats) = get(daemon.addr, "/stats");
+    assert_eq!(json_u64(&stats, "evictions"), 1, "{stats}");
+    assert_eq!(json_u64(&stats, "imports"), 0, "{stats}");
+    assert_eq!(json_u64(&stats, "blobs"), 0, "{stats}");
+
+    // wrong methods on the cache endpoints are 405s, not 404s
+    let (status, body) = post(daemon.addr, "/cache/stats", "");
+    assert_eq!(status, 405, "{body}");
+    let (status, body) = get(daemon.addr, "/cache/gc");
+    assert_eq!(status, 405, "{body}");
+    daemon.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_accepted_jobs() {
     let tmp = TempDir::new("drain");
     let params = QueryParams {
@@ -417,7 +475,7 @@ fn graceful_shutdown_drains_accepted_jobs() {
         vectors: 24,
         ..QueryParams::default()
     };
-    let cache = Cache::at(&tmp.0);
+    let cache = Cache::builder().dir(&tmp.0).open();
     let daemon = Daemon::start(config_with(cache.clone(), params));
 
     let (status, accepted) = post(
